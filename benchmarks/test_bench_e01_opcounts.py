@@ -1,0 +1,59 @@
+"""E1 — Section 3.1 operation counts.
+
+Paper claims: a 32-bit in-memory multiplication takes 9,824 cell writes
+and 19,616 cell reads (19.16 reads/cell, 9.59 writes/cell over 1024
+cells); conventional takes 64/64 (0.0625 per cell); PIM performs >150x
+more writes.
+"""
+
+from repro.core.report import format_table
+from repro.gates.library import NAND_LIBRARY
+from repro.synth.analysis import (
+    conventional_multiplication_counts,
+    multiplier_counts,
+    pim_vs_conventional_write_ratio,
+)
+from repro.synth.multiplier import multiply
+from repro.synth.program import LaneProgramBuilder
+
+
+def _build_mult_program():
+    builder = LaneProgramBuilder(NAND_LIBRARY)
+    a = builder.input_vector("a", 32)
+    b = builder.input_vector("b", 32)
+    multiply(builder, a, b, free_inputs=True)
+    return builder.finish()
+
+
+def test_bench_e01_opcounts(benchmark, record):
+    program = benchmark(_build_mult_program)
+
+    pim = multiplier_counts(32, NAND_LIBRARY)
+    conventional = conventional_multiplication_counts(32)
+    ratio = pim_vs_conventional_write_ratio(32, NAND_LIBRARY)
+    pim_reads, pim_writes = pim.per_cell(1024)
+    conv_reads, conv_writes = conventional.per_cell(1024)
+
+    rows = [
+        ("PIM cell writes", 9824, pim.cell_writes),
+        ("PIM cell reads", 19616, pim.cell_reads),
+        ("PIM reads/cell", 19.16, round(pim_reads, 2)),
+        ("PIM writes/cell", 9.59, round(pim_writes, 2)),
+        ("conventional reads", 64, conventional.cell_reads),
+        ("conventional writes", 64, conventional.cell_writes),
+        ("conventional per-cell", 0.0625, conv_writes),
+        ("write blow-up (x)", ">150", round(ratio, 1)),
+    ]
+    record(
+        "E01_opcounts",
+        format_table(
+            ["Quantity", "Paper", "Ours"], rows,
+            title="E1: 32-bit multiplication operation counts (Section 3.1)",
+        ),
+    )
+
+    # The synthesized program must agree with the closed forms.
+    assert program.gate_count == pim.gates == 9824
+    assert program.total_reads == pim.cell_reads == 19616
+    assert program.total_writes - 64 == pim.cell_writes
+    assert ratio > 150

@@ -1,0 +1,49 @@
+"""E2 — Equations 1-2 and the technology lifetime contrast (Section 3.1).
+
+Paper claims: a 1024x1024 MTJ array (1e12 endurance) can perform at most
+1.07e14 32-bit multiplications (Eq. 1) and survives 3,072,000 s = 35.56
+days at full utilization (Eq. 2); at RRAM's 1e8 endurance, "just over 5
+minutes".
+"""
+
+import pytest
+
+from repro.array.geometry import ArrayGeometry
+from repro.core.lifetime import (
+    eq1_operations_until_total_failure,
+    eq2_seconds_until_total_failure,
+)
+from repro.core.report import format_table
+
+GEOMETRY = ArrayGeometry(1024, 1024)
+
+
+def _bounds():
+    eq1 = eq1_operations_until_total_failure(GEOMETRY, 1e12, 9824)
+    eq2_mtj = eq2_seconds_until_total_failure(GEOMETRY, 1e12, 1024)
+    eq2_rram = eq2_seconds_until_total_failure(GEOMETRY, 1e8, 1024)
+    eq2_pcm = eq2_seconds_until_total_failure(GEOMETRY, 1e7, 1024)
+    return eq1, eq2_mtj, eq2_rram, eq2_pcm
+
+
+def test_bench_e02_lifetime_bounds(benchmark, record):
+    eq1, eq2_mtj, eq2_rram, eq2_pcm = benchmark(_bounds)
+
+    rows = [
+        ("Eq.1 multiplications (MTJ)", "1.07e14", f"{eq1:.3e}"),
+        ("Eq.2 seconds (MTJ 1e12)", "3,072,000", f"{eq2_mtj:,.0f}"),
+        ("Eq.2 days (MTJ 1e12)", "35.56", f"{eq2_mtj / 86400:.2f}"),
+        ("Eq.2 minutes (RRAM 1e8)", "just over 5", f"{eq2_rram / 60:.2f}"),
+        ("Eq.2 minutes (PCM 1e7)", "-", f"{eq2_pcm / 60:.3f}"),
+    ]
+    record(
+        "E02_lifetime_bounds",
+        format_table(
+            ["Quantity", "Paper", "Ours"], rows,
+            title="E2: perfect-balance lifetime bounds (Eqs. 1-2)",
+        ),
+    )
+
+    assert eq1 == pytest.approx(1.07e14, rel=0.003)
+    assert eq2_mtj == pytest.approx(3_072_000)
+    assert 300 < eq2_rram < 330

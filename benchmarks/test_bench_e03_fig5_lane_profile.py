@@ -1,0 +1,48 @@
+"""E3 — Fig. 5: per-cell reads/writes within one lane for one multiply.
+
+Paper claim: "Number of read and writes per cell in a lane is heavily
+imbalanced. Workspace cells are used many more times than input cells in
+producing a single result."
+"""
+
+import numpy as np
+
+from repro.array.architecture import default_architecture
+from repro.core.report import format_fig5
+from repro.workloads.multiply import ParallelMultiplication
+
+
+def _profiles():
+    arch = default_architecture()
+    program = ParallelMultiplication(bits=32).build_program(arch)
+    writes = program.write_counts(
+        arch.lane_size, include_presets=arch.presets_output
+    )
+    reads = program.read_counts(arch.lane_size)
+    return program, writes, reads
+
+
+def test_bench_e03_fig5_lane_profile(benchmark, record):
+    program, writes, reads = benchmark(_profiles)
+
+    input_cells = np.array(program.inputs["a"] + program.inputs["b"])
+    input_writes = writes[input_cells]
+    workspace_mask = np.ones(len(writes), dtype=bool)
+    workspace_mask[input_cells] = False
+    workspace_writes = writes[workspace_mask & (writes > 0)]
+
+    text = format_fig5(writes, reads, used_bits=program.footprint)
+    text += (
+        f"\n\ninput cells: {input_writes.mean():.2f} writes/cell"
+        f"\nworkspace cells: {workspace_writes.mean():.2f} writes/cell"
+        f" (ratio {workspace_writes.mean() / input_writes.mean():.1f}x)"
+    )
+    record("E03_fig5_lane_profile", text)
+
+    # Fig. 5's finding: workspace cells are written many times more than
+    # input cells within a single multiplication.
+    assert input_writes.mean() <= 1.5
+    assert workspace_writes.mean() > 10 * input_writes.mean()
+    # Gate reads match Section 3.1 (19,616) plus the 64-bit product
+    # read-out.
+    assert reads.sum() == 19616 + 64

@@ -1,0 +1,65 @@
+"""E4 — Table 2: memory-access-aware shuffle overhead by precision.
+
+Paper values (%): multiplication 25.00 / 10.00 / 4.55 / 2.17 / 1.06 and
+addition 76.47 / 67.57 / 63.64 / 61.78 / 60.88 for b = 4/8/16/32/64.
+"""
+
+import pytest
+
+from repro.balance.access_aware import (
+    build_shuffled_multiply,
+    shuffle_overhead_percent,
+    table2_rows,
+)
+from repro.core.report import format_table
+from repro.gates.library import MINIMAL_LIBRARY
+from repro.synth.analysis import multiplier_counts
+
+PAPER = {
+    4: (25.0, 76.47),
+    8: (10.0, 67.57),
+    16: (4.55, 63.64),
+    32: (2.17, 61.78),
+    64: (1.06, 60.88),
+}
+
+
+def test_bench_e04_table2(benchmark, record):
+    rows_data = benchmark(table2_rows)
+
+    rows = []
+    for bits, mult, add in rows_data:
+        paper_mult, paper_add = PAPER[bits]
+        rows.append(
+            (bits, paper_mult, f"{mult:.2f}", paper_add, f"{add:.2f}")
+        )
+    record(
+        "E04_table2_shuffle_overhead",
+        format_table(
+            ["Bits", "Mult paper (%)", "Mult ours (%)",
+             "Add paper (%)", "Add ours (%)"],
+            rows,
+            title="E4: Table 2 shuffle overhead",
+        ),
+    )
+
+    for bits, mult, add in rows_data:
+        paper_mult, paper_add = PAPER[bits]
+        assert mult == pytest.approx(paper_mult, abs=0.005)
+        assert add == pytest.approx(paper_add, abs=0.005)
+
+
+def test_bench_e04_materialized_shuffle_program(benchmark, record):
+    """The gate-level shuffled multiply carries exactly the Table 2 cost."""
+    program = benchmark(build_shuffled_multiply, MINIMAL_LIBRARY, 8)
+    plain = multiplier_counts(8, MINIMAL_LIBRARY).gates
+    overhead = 100.0 * (program.gate_count - plain) / plain
+    record(
+        "E04_materialized_overhead",
+        f"8-bit shuffled multiply: {program.gate_count} gates "
+        f"({plain} compute + {program.gate_count - plain} copies) "
+        f"= {overhead:.2f}% overhead (paper: 10.00%)",
+    )
+    assert overhead == pytest.approx(
+        shuffle_overhead_percent("multiply", 8), abs=1e-9
+    )

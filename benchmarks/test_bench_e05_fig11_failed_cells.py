@@ -1,0 +1,71 @@
+"""E5 — Fig. 11b: usable lane bits versus failed cells.
+
+Paper claim: "irrespective of the array size, the number of available
+cells can quickly reach a point where even multiplication is not possible
+due to insufficient space" — the usable fraction collapses as
+``(1 - p) ** lanes``.
+"""
+
+import numpy as np
+
+from repro.array.architecture import default_architecture
+from repro.array.faults import expected_usable_fraction, usable_fraction_curve
+from repro.array.geometry import ArrayGeometry, Orientation
+from repro.core.report import format_fig11b
+from repro.workloads.multiply import ParallelMultiplication
+
+FRACTIONS = [0.0, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2]
+
+
+def _curve(size: int, trials: int = 3):
+    geometry = ArrayGeometry(size, size)
+    return usable_fraction_curve(
+        geometry, Orientation.COLUMN_PARALLEL, FRACTIONS, trials=trials, rng=0
+    )
+
+
+def test_bench_e05_fig11b(benchmark, record):
+    measured = benchmark(_curve, 1024)
+    analytic = expected_usable_fraction(np.array(FRACTIONS), 1024)
+
+    text = format_fig11b(FRACTIONS, measured, analytic)
+
+    # The paper's punchline: find where multiplication stops fitting.
+    arch = default_architecture()
+    program = ParallelMultiplication(
+        bits=32, workspace_limit=256
+    ).build_program(arch)
+    needed = program.footprint
+    usable_bits = measured * 1024
+    dead = next(
+        (f for f, u in zip(FRACTIONS, usable_bits) if u < needed), None
+    )
+    text += (
+        f"\n\n32-bit multiply needs {needed} usable bits/lane; with "
+        f"{dead:.3%} of cells failed the all-lane array can no longer "
+        "host it." if dead is not None else ""
+    )
+    record("E05_fig11b_failed_cells", text)
+
+    assert np.allclose(measured, analytic, atol=0.05)
+    # Even 1% failures wipe out essentially the whole lane space.
+    assert measured[-1] < 0.01
+    assert dead is not None and dead <= 0.01
+
+
+def test_bench_e05_size_independence(benchmark, record):
+    """Fig. 11b plots several array sizes: the collapse point in *percent
+    failed* shifts only mildly with size."""
+    curves = benchmark(
+        lambda: {size: _curve(size, trials=2) for size in (256, 512, 1024)}
+    )
+    lines = ["usable fraction by array size (columns = failed fraction)"]
+    lines.append("size  " + "  ".join(f"{f:.4%}" for f in FRACTIONS))
+    for size, curve in curves.items():
+        lines.append(f"{size:4d}  " + "  ".join(f"{u:7.3f}" for u in curve))
+    record("E05_fig11b_sizes", "\n".join(lines))
+    for size, curve in curves.items():
+        assert curve[0] == 1.0
+        # At 1% failed cells, (1-p)^lanes leaves at most ~8% even for the
+        # smallest (256-lane) array, and <0.01% at 1024 lanes.
+        assert curve[-1] < 0.10

@@ -1,0 +1,38 @@
+"""E6 — Fig. 14: multiplication write distributions, 18 configurations.
+
+Paper findings: with static row mapping there is "a large imbalance across
+rows"; no imbalance between columns (all columns compute); Ra/Bs row
+strategies level the rows; adding Hw "produces a nearly even write
+distribution".
+"""
+
+import numpy as np
+
+from repro.core.report import format_heatmap_stats
+
+
+def _balance(entries, label):
+    entry = next(e for e in entries if e.label == label)
+    return entry.result.write_distribution
+
+
+def test_bench_e06_fig14_mult_heatmaps(benchmark, record, grid_cache):
+    entries = benchmark.pedantic(
+        grid_cache, args=("mult",), rounds=1, iterations=1
+    )
+    dists = [e.result.write_distribution for e in entries]
+    text = format_heatmap_stats(dists)
+    text += "\n\n" + _balance(entries, "StxSt").ascii_heatmap((16, 64))
+    text += "\n\n" + _balance(entries, "RaxSt+Hw").ascii_heatmap((16, 64))
+    record("E06_fig14_mult_heatmaps", text)
+
+    static = _balance(entries, "StxSt")
+    # No imbalance between columns: every lane runs the same program.
+    lanes = static.lane_profile()
+    assert np.allclose(lanes, lanes[0])
+    # Row strategies + Hw tighten the distribution monotonically.
+    assert _balance(entries, "RaxSt").balance >= static.balance
+    assert _balance(entries, "RaxSt+Hw").balance >= _balance(entries, "RaxSt").balance * 0.999
+    # The best configurations approach a level distribution.
+    best = max(dists, key=lambda d: d.balance)
+    assert best.balance > 0.9

@@ -1,0 +1,42 @@
+"""E7 — Fig. 15: convolution write distributions, 18 configurations.
+
+Paper findings: convolution "over-utilizes one-fourth; under-utilizes
+three-fourths of the columns" (the group leaders); row re-mapping levels
+rows; "for columns, Bs is ineffective as highly used columns overlap when
+shifted by an integer number of bytes".
+"""
+
+import numpy as np
+
+from repro.core.report import format_heatmap_stats
+
+
+def _dist(entries, label):
+    return next(e for e in entries if e.label == label).result.write_distribution
+
+
+def test_bench_e07_fig15_conv_heatmaps(benchmark, record, grid_cache):
+    entries = benchmark.pedantic(
+        grid_cache, args=("conv",), rounds=1, iterations=1
+    )
+    dists = [e.result.write_distribution for e in entries]
+    text = format_heatmap_stats(dists)
+    text += "\n\n" + _dist(entries, "StxSt").ascii_heatmap((16, 64))
+    text += "\n\n" + _dist(entries, "StxBs").ascii_heatmap((16, 64))
+    text += "\n\n" + _dist(entries, "RaxRa+Hw").ascii_heatmap((16, 64))
+    record("E07_fig15_conv_heatmaps", text)
+
+    static = _dist(entries, "StxSt")
+    lanes = static.lane_profile()
+    # Every fourth column (the group leader) is hot.
+    leaders = lanes[::4]
+    members = np.concatenate([lanes[1::4], lanes[2::4], lanes[3::4]])
+    assert leaders.min() > members.max()
+
+    # Byte-shifting between lanes maps hot columns onto hot columns
+    # (shift 8 is a multiple of the period 4): no leveling at all.
+    byte_shift = _dist(entries, "StxBs")
+    assert np.isclose(byte_shift.max, static.max)
+    # Random between-lane mapping does level the columns.
+    random_between = _dist(entries, "StxRa")
+    assert random_between.max < static.max

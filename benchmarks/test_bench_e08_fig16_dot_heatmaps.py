@@ -1,0 +1,41 @@
+"""E8 — Fig. 16: dot-product write distributions, 18 configurations.
+
+Paper findings: "dot-product heavily uses columns at low addresses, as
+partial sums are repeatedly moved to lower addresses to perform the
+reduction sum. Hence, there is a significant imbalance across columns,
+which both Ra and Bs manage to overcome."
+"""
+
+import numpy as np
+
+from repro.core.report import format_heatmap_stats
+
+
+def _dist(entries, label):
+    return next(e for e in entries if e.label == label).result.write_distribution
+
+
+def test_bench_e08_fig16_dot_heatmaps(benchmark, record, grid_cache):
+    entries = benchmark.pedantic(
+        grid_cache, args=("dot",), rounds=1, iterations=1
+    )
+    dists = [e.result.write_distribution for e in entries]
+    text = format_heatmap_stats(dists)
+    text += "\n\n" + _dist(entries, "StxSt").ascii_heatmap((16, 64))
+    text += "\n\n" + _dist(entries, "StxRa").ascii_heatmap((16, 64))
+    text += "\n\n" + _dist(entries, "RaxBs+Hw").ascii_heatmap((16, 64))
+    record("E08_fig16_dot_heatmaps", text)
+
+    static = _dist(entries, "StxSt")
+    lanes = static.lane_profile()
+    # Low lanes are the hot stripe: the reduction funnels into them. The
+    # within-lane ring keeps each lane internally level, so the stripe is
+    # a moderate (tens of percent) elevation, strictly ordered by lane.
+    assert lanes[0] == lanes.max()
+    assert lanes[:16].mean() > 1.2 * lanes[512:768].mean()
+    assert lanes[0] > lanes[1] > lanes[512]
+
+    # Both Ra and Bs between lanes overcome the column imbalance.
+    for label in ("StxRa", "StxBs"):
+        leveled = _dist(entries, label)
+        assert leveled.max < 0.9 * static.max

@@ -1,0 +1,52 @@
+"""E9 — Fig. 17: lifetime improvement per balance configuration.
+
+Paper findings per panel:
+(a) multiplication — no benefit from between-lane-only strategies
+    (St x Ra, St x Bs = 1.0); within-lane strategies and Hw help;
+(b) convolution — benefits from between-lane balancing except St x Bs
+    (byte-shifted hot columns land on hot columns);
+(c) dot-product — "significant improvement from load-balancing in both
+    dimensions".
+
+Factors are modest (paper peaks: 1.59x / 2.22x / 2.11x) — footnote 6:
+even idealized re-mapping "cannot be of much help".
+"""
+
+import pytest
+
+from repro.core.report import format_fig17
+
+
+def _improvement(entries, label):
+    return next(e for e in entries if e.label == label).improvement
+
+
+@pytest.mark.parametrize("workload_key", ["mult", "conv", "dot"])
+def test_bench_e09_fig17(benchmark, record, grid_cache, workload_key):
+    entries = benchmark.pedantic(
+        grid_cache, args=(workload_key,), rounds=1, iterations=1
+    )
+    record(
+        f"E09_fig17_{workload_key}",
+        format_fig17(entries, workload_key),
+    )
+
+    improvements = {e.label: e.improvement for e in entries}
+    assert improvements["StxSt"] == pytest.approx(1.0)
+    best = max(improvements.values())
+    # Shape check: best improvement is real but modest (single digits).
+    assert 1.02 < best < 8.0
+
+    if workload_key == "mult":
+        # Fig. 17a: between-lane-only strategies give nothing.
+        assert improvements["StxRa"] == pytest.approx(1.0)
+        assert improvements["StxBs"] == pytest.approx(1.0)
+    if workload_key == "conv":
+        # Fig. 17b: St x Bs provides no benefit; St x Ra does.
+        assert improvements["StxBs"] == pytest.approx(1.0, abs=0.02)
+        assert improvements["StxRa"] > 1.05
+    if workload_key == "dot":
+        # Fig. 17c: both dimensions help.
+        assert improvements["StxRa"] > 1.1
+        assert improvements["RaxSt"] > 1.0
+        assert improvements["RaxRa"] > improvements["StxRa"] * 0.99

@@ -1,0 +1,61 @@
+"""E12 — Section 3.3's lane-set workaround.
+
+Paper claim: dividing lanes into sets "can extend the array lifetime, by
+increasing the number of usable cells at any given time. However, this
+comes at a quickly increasing cost in latency, as different sets must run
+sequentially."
+"""
+
+import numpy as np
+
+from repro.array.faults import plan_lane_sets, usable_offsets
+from repro.array.geometry import ArrayGeometry, Orientation
+from repro.core.report import format_table
+
+GEOMETRY = ArrayGeometry(1024, 1024)
+FAILED_FRACTION = 0.002  # 0.2% of cells dead
+
+
+def _plans():
+    rng = np.random.default_rng(3)
+    failed = rng.random((GEOMETRY.rows, GEOMETRY.cols)) < FAILED_FRACTION
+    whole = int(usable_offsets(failed, Orientation.COLUMN_PARALLEL).sum())
+    plans = {
+        n_sets: plan_lane_sets(failed, Orientation.COLUMN_PARALLEL, n_sets)
+        for n_sets in (1, 2, 4, 8, 16)
+    }
+    return whole, plans
+
+
+def test_bench_e12_lane_sets(benchmark, record):
+    whole, plans = benchmark.pedantic(_plans, rounds=1, iterations=1)
+
+    rows = []
+    for n_sets, plan in plans.items():
+        rows.append(
+            (
+                n_sets,
+                plan.min_usable,
+                f"{plan.min_usable / GEOMETRY.rows:.1%}",
+                f"{plan.latency_multiplier}x",
+            )
+        )
+    text = format_table(
+        ["Lane sets", "Usable bits (worst set)", "Lane fraction",
+         "Latency cost"],
+        rows,
+        title=(
+            f"E12: lane-set workaround at {FAILED_FRACTION:.1%} failed cells "
+            f"(all-lane usable bits: {whole})"
+        ),
+    )
+    record("E12_lane_sets", text)
+
+    # All-lane operation is nearly dead at this failure level...
+    assert whole < 200
+    # ...while splitting recovers usable space monotonically...
+    usable = [plans[n].min_usable for n in (1, 2, 4, 8, 16)]
+    assert all(a <= b for a, b in zip(usable, usable[1:]))
+    assert plans[16].min_usable > 4 * max(whole, 1)
+    # ...at a proportional latency cost.
+    assert plans[16].latency_multiplier == 16

@@ -1,0 +1,130 @@
+"""E15 — design-choice ablations called out in DESIGN.md.
+
+1. **Allocation policy**: the paper's simulator sweeps workspace writes
+   across the whole lane (our RING policy), which makes the static
+   distribution fairly level and caps re-mapping gains at small factors
+   (Table 3's 1.59-2.22x). A compact lowest-first workspace (Fig. 4 taken
+   literally) concentrates wear and makes balancing far more valuable.
+2. **Workspace size**: shrinking the ring's sweep region interpolates
+   between those extremes — the improvement factor rises as the dedicated
+   workspace shrinks, bracketing the paper's reported 1.59x.
+3. **Array size**: lifetime scales with cell count at fixed per-lane work.
+"""
+
+import pytest
+
+from repro.array.architecture import default_architecture
+from repro.balance.config import BalanceConfig
+from repro.core.lifetime import lifetime_from_result, lifetime_improvement
+from repro.core.report import format_table
+from repro.core.simulator import EnduranceSimulator
+from repro.synth.bits import AllocationPolicy
+from repro.workloads.multiply import ParallelMultiplication
+
+from conftest import bench_iterations
+
+
+def _improvement(workload, iterations, label="RaxSt+Hw", seed=7):
+    simulator = EnduranceSimulator(default_architecture(), seed=seed)
+    base = simulator.run(
+        workload, BalanceConfig(), iterations=iterations, track_reads=False
+    )
+    balanced = simulator.run(
+        workload,
+        BalanceConfig.from_label(label).with_interval(50),
+        iterations=iterations,
+        track_reads=False,
+    )
+    return lifetime_improvement(balanced, base)
+
+
+def test_bench_e15_allocation_policy(benchmark, record):
+    iterations = bench_iterations(1_000)
+
+    def run():
+        ring = _improvement(ParallelMultiplication(bits=32), iterations)
+        compact = _improvement(
+            ParallelMultiplication(
+                bits=32, allocation_policy=AllocationPolicy.LOWEST_FIRST
+            ),
+            iterations,
+        )
+        return ring, compact
+
+    ring, compact = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "E15_allocation_policy",
+        format_table(
+            ["Allocation policy", "RaxSt+Hw improvement"],
+            [
+                ("ring (paper-like sweep)", f"{ring:.2f}x"),
+                ("lowest-first (compact Fig. 4)", f"{compact:.2f}x"),
+            ],
+            title="E15a: workspace allocation policy vs balancing payoff",
+        ),
+    )
+    # Compact workspaces concentrate wear, so balancing buys much more.
+    assert compact > 3 * ring
+    assert ring > 1.0
+
+
+def test_bench_e15_workspace_size(benchmark, record):
+    iterations = bench_iterations(1_000)
+    limits = (256, 384, 512, 768, None)
+
+    def run():
+        return {
+            limit: _improvement(
+                ParallelMultiplication(bits=32, workspace_limit=limit),
+                iterations,
+            )
+            for limit in limits
+        }
+
+    improvements = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (str(limit or "whole lane"), f"{improvements[limit]:.2f}x")
+        for limit in limits
+    ]
+    record(
+        "E15_workspace_size",
+        format_table(
+            ["Dedicated workspace (bits)", "RaxSt+Hw improvement"],
+            rows,
+            title=(
+                "E15b: shrinking the workspace raises the balancing payoff "
+                "(paper's Table 3 multiply value, 1.59x, falls inside this "
+                "band)"
+            ),
+        ),
+    )
+    values = [improvements[limit] for limit in limits]
+    # Monotone: smaller workspace -> bigger payoff.
+    assert all(a >= b * 0.98 for a, b in zip(values, values[1:]))
+    assert values[0] > values[-1]
+    # The paper's 1.59x lies inside the bracketed band.
+    assert min(values) < 1.59 < max(values)
+
+
+@pytest.mark.parametrize("size", [256, 512, 1024])
+def test_bench_e15_array_size(benchmark, record, size):
+    simulator = EnduranceSimulator(
+        default_architecture(size, size), seed=7
+    )
+    result = benchmark.pedantic(
+        simulator.run,
+        args=(ParallelMultiplication(bits=32), BalanceConfig()),
+        kwargs={"iterations": bench_iterations(500), "track_reads": False},
+        rounds=1,
+        iterations=1,
+    )
+    estimate = lifetime_from_result(result)
+    record(
+        f"E15_array_size_{size}",
+        f"{size}x{size}: max writes/iter = "
+        f"{result.max_writes_per_iteration:.1f}, lifetime = "
+        f"{estimate.days_to_failure:.2f} days",
+    )
+    # Per-cell wear rate is array-size independent at full lane utilization
+    # (each lane does the same work); lifetime therefore is too.
+    assert 5 < estimate.days_to_failure < 36

@@ -1,0 +1,69 @@
+"""E19 — extension: array vs Dadda-tree multiplier structure.
+
+The paper picks the carry-save array census. A true Dadda tree uses the
+*identical* adder count (reducing b^2 partial products to 2b bits with
+FA/HA cells fixes the census), so in PIM — where every gate is sequential
+— the tree buys nothing, while its live set grows like b^2 and stops
+fitting a 1024-bit lane at 32 bits. This bench makes that design argument
+quantitative.
+"""
+
+from repro.core.report import format_table
+from repro.gates.library import NAND_LIBRARY
+from repro.synth.multiplier import multiply
+from repro.synth.multiplier_tree import tree_multiply
+from repro.synth.program import LaneProgramBuilder
+
+WIDTHS = (4, 8, 16, 32)
+LANE = 1024
+
+
+def _program(width, factory):
+    builder = LaneProgramBuilder(NAND_LIBRARY)
+    a = builder.input_vector("a", width)
+    b = builder.input_vector("b", width)
+    factory(builder, a, b)
+    return builder.finish()
+
+
+def test_bench_e19_multiplier_structures(benchmark, record):
+    def build_all():
+        return {
+            width: (
+                _program(width, multiply),
+                _program(width, tree_multiply),
+            )
+            for width in WIDTHS
+        }
+
+    programs = benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    rows = []
+    for width, (array, tree) in programs.items():
+        rows.append(
+            (
+                width,
+                array.gate_count,
+                tree.gate_count,
+                array.footprint,
+                tree.footprint,
+                "yes" if tree.footprint <= LANE else "NO",
+            )
+        )
+    record(
+        "E19_multiplier_structures",
+        format_table(
+            ["Bits", "Array gates", "Tree gates", "Array footprint",
+             "Tree footprint", f"Tree fits {LANE}-bit lane?"],
+            rows,
+            title="E19: array vs Dadda-tree multiplier in a PIM lane",
+        ),
+    )
+
+    for width, (array, tree) in programs.items():
+        # Identical gate counts: sequential PIM gains nothing from the tree.
+        assert array.gate_count == tree.gate_count
+        # The tree's workspace grows ~quadratically.
+        assert tree.footprint > array.footprint
+    assert programs[32][1].footprint > LANE  # 32-bit tree does not fit
+    assert programs[32][0].footprint < 256  # the array fits easily

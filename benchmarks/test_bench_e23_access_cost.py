@@ -1,0 +1,45 @@
+"""E23 — Fig. 8: memory-access cost of re-mapped layouts.
+
+Paper claim (Section 3.2 / Fig. 8): random re-mapping scatters a
+variable's bits across bytes, so row-parallel architectures "may need to
+access many more bytes ... and require external post-processing to
+re-order the bits", while column-parallel architectures, which read bits
+serially anyway, "are less impacted". Byte-shifting exists precisely to
+avoid this.
+"""
+
+import pytest
+
+from repro.balance.access_cost import (
+    access_cost_table,
+    expected_random_bytes,
+)
+from repro.core.report import format_table
+
+
+def test_bench_e23_access_cost(benchmark, record):
+    rows_data = benchmark(access_cost_table, 32, 1024, 64, 0)
+
+    expected = expected_random_bytes(32, 1024)
+    rows = [
+        (strategy, orientation, f"{cost:.1f}")
+        for strategy, orientation, cost in rows_data
+    ]
+    text = format_table(
+        ["Strategy", "Orientation", "Accesses to read a 32-bit variable"],
+        rows,
+        title="E23: Fig. 8 — memory-access cost of re-mapping strategies",
+    )
+    text += (
+        f"\n\nanalytic expectation for Ra in a row lane: {expected:.1f} "
+        f"byte accesses vs 4 aligned ({expected / 4:.1f}x amplification)"
+    )
+    record("E23_access_cost", text)
+
+    by_key = {(s, o): c for s, o, c in rows_data}
+    # Column-parallel is layout-insensitive (always b single-bit accesses).
+    assert len({c for (s, o), c in by_key.items() if o == "column"}) == 1
+    # Row-parallel: St and Bs stay byte-aligned; Ra scatters ~7x.
+    assert by_key[("St", "row")] == by_key[("Bs", "row")] == 4
+    assert by_key[("Ra", "row")] == pytest.approx(expected, rel=0.1)
+    assert by_key[("Ra", "row")] / by_key[("St", "row")] > 5

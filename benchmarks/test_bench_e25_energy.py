@@ -1,0 +1,70 @@
+"""E25 — extension: latency/energy accounting per workload iteration.
+
+The paper motivates NVPIM with "extreme energy efficiency" and prices
+latency at 3 ns per sequential operation. This bench reports the full
+latency/energy picture per iteration for each workload — the counterpart
+to the endurance numbers, computed from the same operation streams.
+"""
+
+import pytest
+
+from repro.array.architecture import default_architecture
+from repro.core.report import format_table
+from repro.devices.energy import EnergyModel
+from repro.devices.technology import MRAM, RRAM
+from repro.workloads.dotproduct import DotProduct
+from repro.workloads.multiply import ParallelMultiplication
+from repro.workloads.vectoradd import VectorAdd
+
+
+def test_bench_e25_energy(benchmark, record):
+    architecture = default_architecture()
+    workloads = [
+        VectorAdd(bits=32),
+        ParallelMultiplication(bits=32),
+        DotProduct(n_elements=1024, bits=32),
+    ]
+
+    def compute():
+        out = {}
+        for workload in workloads:
+            mapping = workload.build(architecture)
+            out[workload.name] = (
+                mapping,
+                mapping.operation_costs(),
+                mapping.operation_costs(EnergyModel(RRAM)),
+            )
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for name, (mapping, mram_costs, rram_costs) in results.items():
+        rows.append(
+            (
+                name,
+                f"{mram_costs.latency_s * 1e6:.1f}",
+                f"{mram_costs.cell_writes:.2e}",
+                f"{mram_costs.energy_fj / 1e6:.2f}",
+                f"{rram_costs.energy_fj / 1e6:.2f}",
+            )
+        )
+    record(
+        "E25_energy",
+        format_table(
+            ["Workload", "Latency/iter (us)", "Cell writes/iter",
+             "Energy/iter MRAM (nJ)", "Energy/iter RRAM (nJ)"],
+            rows,
+            title="E25: per-iteration latency and energy (3 ns/op model)",
+        ),
+    )
+
+    mult = results["multiplication-32b"][1]
+    # Latency follows the 3 ns/op rule exactly.
+    mapping = results["multiplication-32b"][0]
+    assert mult.latency_s == pytest.approx(mapping.sequential_ops * 3e-9)
+    # Writes dominate energy on every NVM preset.
+    assert mult.energy_fj > mult.cell_writes * MRAM.write_energy_fj * 0.9
+    # The add is orders of magnitude cheaper than the multiply.
+    add = results["vector-add-32b"][1]
+    assert add.energy_fj < mult.energy_fj / 20

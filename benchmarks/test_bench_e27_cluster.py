@@ -1,0 +1,76 @@
+"""E27 — extension: the endurance story repeats at cluster scale.
+
+A 4096-element dot-product partitioned over four 1024-lane arrays: the
+aggregator array absorbs the inter-array reduction and dies first, exactly
+as the hot reduction lanes die first inside one array (Fig. 16).
+Round-robin rotation of the aggregator role — software-only, the
+between-array analogue of the paper's between-lane re-mapping — levels
+the cluster and recovers the lost lifetime.
+"""
+
+import pytest
+
+from repro.array.architecture import default_architecture
+from repro.balance.config import BalanceConfig
+from repro.core.cluster import PartitionedDotProduct
+from repro.core.report import format_table
+
+from conftest import bench_iterations
+
+
+def test_bench_e27_cluster(benchmark, record):
+    architecture = default_architecture()
+    cluster = PartitionedDotProduct(
+        elements_per_array=1024, n_arrays=4, bits=32
+    )
+    iterations = bench_iterations(400)
+    iterations -= iterations % 4  # rotation needs divisibility
+
+    def run_both():
+        fixed = cluster.run(
+            architecture, BalanceConfig(), iterations, seed=7
+        )
+        rotated = cluster.run(
+            architecture, BalanceConfig(), iterations,
+            rotate_aggregator=True, seed=7,
+        )
+        return fixed, rotated
+
+    fixed, rotated = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = [
+        (
+            "fixed aggregator",
+            f"{fixed.wear_imbalance:.3f}",
+            f"{fixed.cluster_iterations_to_failure:.3e}",
+        ),
+        (
+            "rotating aggregator",
+            f"{rotated.wear_imbalance:.3f}",
+            f"{rotated.cluster_iterations_to_failure:.3e}",
+        ),
+    ]
+    gain = (
+        rotated.cluster_iterations_to_failure
+        / fixed.cluster_iterations_to_failure
+    )
+    text = format_table(
+        ["Cluster policy", "Array wear imbalance",
+         "Cluster iterations to first failure"],
+        rows,
+        title=(
+            "E27: 4096-element dot-product on 4 arrays "
+            f"(rotation extends cluster life {gain:.2f}x)"
+        ),
+    )
+    record("E27_cluster", text)
+
+    # The aggregator is the weakest link under fixed roles...
+    assert fixed.wear_imbalance > 1.02
+    lifetimes = fixed.lifetimes()
+    assert lifetimes[0].iterations_to_failure == min(
+        e.iterations_to_failure for e in lifetimes
+    )
+    # ...and rotation levels the arrays and extends the cluster lifetime.
+    assert rotated.wear_imbalance == pytest.approx(1.0, abs=1e-6)
+    assert gain > 1.01

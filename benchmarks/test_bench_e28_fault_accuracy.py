@@ -1,0 +1,63 @@
+"""E28 — extension: output corruption from failed cells.
+
+Section 3.3's justification for Eq. 4's death-at-first-failure criterion:
+"even a small number of failed devices can cause incorrect operation".
+This bench injects stuck-at faults into the 32-bit multiply's lane and
+measures the fraction of products that come out wrong — with the
+ring-swept workspace, a single dead cell corrupts the majority of
+results, so there is no grace period after the first failure.
+"""
+
+from repro.array.architecture import default_architecture
+from repro.core.accuracy import measure_fault_accuracy
+from repro.core.report import format_table
+from repro.workloads.multiply import ParallelMultiplication
+
+FAULT_COUNTS = (0, 1, 2, 4, 8)
+
+
+def test_bench_e28_fault_accuracy(benchmark, record):
+    program = ParallelMultiplication(bits=16).build_program(
+        default_architecture()
+    )
+
+    def sweep():
+        return {
+            n_faults: measure_fault_accuracy(
+                program,
+                lambda a, b: a * b,
+                n_faults=n_faults,
+                samples=48,
+                rng=9,
+            )
+            for n_faults in FAULT_COUNTS
+        }
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        (
+            n_faults,
+            f"{report.error_rate:.1%}",
+            f"{report.mean_relative_error:.3f}",
+        )
+        for n_faults, report in reports.items()
+    ]
+    record(
+        "E28_fault_accuracy",
+        format_table(
+            ["Stuck-at faults in lane", "Wrong 16-bit products",
+             "Mean relative error (when wrong)"],
+            rows,
+            title=(
+                "E28: output corruption vs failed cells — the basis for "
+                "Eq. 4's first-failure death criterion"
+            ),
+        ),
+    )
+
+    assert reports[0].error_rate == 0.0
+    # One dead cell already corrupts most results...
+    assert reports[1].error_rate > 0.5
+    # ...and a handful makes correct output the exception.
+    assert reports[8].error_rate > 0.8

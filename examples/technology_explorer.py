@@ -1,0 +1,69 @@
+"""Technology explorer: endurance economics across MRAM, RRAM and PCM.
+
+Answers the paper's central question quantitatively: given a workload's
+wear pattern, how long does each nonvolatile technology last? Includes the
+analytic bounds (Eqs. 1-2), the simulated Eq. 4 lifetimes per technology,
+and the effect of per-cell endurance variation (lognormal spread).
+
+Run:
+    python examples/technology_explorer.py
+"""
+
+from repro import (
+    BalanceConfig,
+    EnduranceSimulator,
+    MRAM,
+    PCM,
+    RRAM,
+    ParallelMultiplication,
+    default_architecture,
+    eq1_operations_until_total_failure,
+    eq2_seconds_until_total_failure,
+    lifetime_from_result,
+    technology_sweep,
+)
+from repro.core.report import format_lifetimes, format_table
+from repro.devices.endurance import LognormalEndurance
+
+ITERATIONS = 1_000
+
+
+def main() -> None:
+    architecture = default_architecture()
+    geometry = architecture.geometry
+
+    print("Analytic perfect-balance bounds (Section 3.1):")
+    for tech in (MRAM, RRAM, PCM):
+        eq1 = eq1_operations_until_total_failure(
+            geometry, tech.endurance_writes, 9824
+        )
+        eq2 = eq2_seconds_until_total_failure(
+            geometry, tech.endurance_writes, geometry.cols
+        )
+        print(f"  {tech.name:5s} (E={tech.endurance_writes:.0e}): "
+              f"{eq1:.2e} multiplications, total failure in "
+              f"{eq2 / 86400:.3f} days")
+
+    print("\nSimulated first-cell-failure lifetimes (Eq. 4, static layout):")
+    simulator = EnduranceSimulator(architecture, seed=7)
+    result = simulator.run(
+        ParallelMultiplication(bits=32), BalanceConfig(),
+        iterations=ITERATIONS, track_reads=False,
+    )
+    print(format_lifetimes(technology_sweep(result, [MRAM, RRAM, PCM])))
+
+    print("\nPer-cell endurance variation (lognormal spread around 1e12):")
+    rows = []
+    for sigma in (0.0, 0.3, 0.6):
+        model = LognormalEndurance(MRAM.endurance_writes, sigma=sigma, rng=0)
+        estimate = lifetime_from_result(result, endurance_model=model)
+        rows.append((f"{sigma:.1f}", f"{estimate.days_to_failure:.2f}"))
+    print(format_table(["sigma", "days to first failure"], rows))
+
+    print("\nConclusion (paper Section 7): even the best technology of "
+          "today falls short of multi-year PIM lifetimes; RRAM/PCM burn "
+          "out in minutes to hours.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Packaging metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments without the ``wheel`` package
+(legacy editable installs require a setup.py).
+"""
+
+from setuptools import setup
+
+setup()

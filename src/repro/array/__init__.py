@@ -1,0 +1,49 @@
+"""The PIM array substrate: geometry, state, architectures, execution, faults.
+
+Models the memory array the paper simulates: an ``N x N`` grid of
+nonvolatile cells organized into *lanes* (rows or columns, depending on the
+architecture's parallelism — Section 2.2), with per-cell read/write
+counters (the simulator is "instruction-level accurate, and each write to
+each memory cell is counted", Section 4) and failed-cell analysis
+(Section 3.3).
+"""
+
+from repro.array.geometry import ArrayGeometry, Orientation
+from repro.array.state import ArrayState
+from repro.array.architecture import (
+    CRAM_COLUMN,
+    CRAM_ROW,
+    MAGIC_RRAM,
+    PINATUBO,
+    LogicStyle,
+    PIMArchitecture,
+    default_architecture,
+)
+from repro.array.executor import accumulate_assignment, replay_assignment
+from repro.array.faults import (
+    LaneSetPlan,
+    expected_usable_fraction,
+    plan_lane_sets,
+    usable_fraction_curve,
+    usable_offsets,
+)
+
+__all__ = [
+    "ArrayGeometry",
+    "Orientation",
+    "ArrayState",
+    "PIMArchitecture",
+    "LogicStyle",
+    "default_architecture",
+    "CRAM_COLUMN",
+    "CRAM_ROW",
+    "PINATUBO",
+    "MAGIC_RRAM",
+    "replay_assignment",
+    "accumulate_assignment",
+    "usable_offsets",
+    "expected_usable_fraction",
+    "usable_fraction_curve",
+    "plan_lane_sets",
+    "LaneSetPlan",
+]

@@ -1,0 +1,141 @@
+"""PIM architecture descriptions.
+
+The paper abstracts the surveyed designs (Table 1) down to the properties
+that matter for endurance: lane orientation, whether logic uses the sense
+amplifiers at the periphery, and whether the output cell must be pre-set
+before each gate. "For architectures like Pinatubo which perform
+computation at the array periphery using sense amplifiers, the initial
+value of the output memory cell does not matter ... for architectures like
+CRAM, the initial value of the output cell affects computation and often
+needs to be preset before computation. For this type of architecture, an
+additional write operation would be required." (Section 3.2)
+
+The evaluation's reference point (Section 4) is a 1024 x 1024
+column-parallel array with CRAM-style pre-set accounting, which
+:func:`default_architecture` reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.array.geometry import ArrayGeometry, Orientation
+from repro.devices.technology import MRAM, RRAM, Technology
+from repro.gates.library import NAND_LIBRARY, NOR_LIBRARY, GateLibrary
+
+
+class LogicStyle(Enum):
+    """How a gate's output value is produced (paper Fig. 1)."""
+
+    #: Read inputs through sense amplifiers, threshold, write back (Fig 1a).
+    SENSE_AMP = "sense_amp"
+    #: Drive current through input cells so the output conditionally
+    #: switches (Fig 1b); no sense amplifier involved.
+    VOLTAGE_DIVIDER = "voltage_divider"
+
+
+@dataclass(frozen=True)
+class PIMArchitecture:
+    """One PIM design point, in endurance-relevant terms.
+
+    Attributes:
+        name: Design label.
+        geometry: Array dimensions.
+        orientation: Lane orientation (row- or column-parallel).
+        logic_style: Peripheral (sense-amp) or in-array logic.
+        presets_output: Whether each gate costs one extra write to pre-set
+            its output cell (CRAM-style designs).
+        library: Native gate set.
+        technology: Memory technology (endurance, latency, energy).
+    """
+
+    name: str
+    geometry: ArrayGeometry
+    orientation: Orientation
+    logic_style: LogicStyle
+    presets_output: bool
+    library: GateLibrary
+    technology: Technology
+
+    @property
+    def lane_count(self) -> int:
+        """Lanes available for parallel computation."""
+        return self.geometry.lane_count(self.orientation)
+
+    @property
+    def lane_size(self) -> int:
+        """Bits per lane."""
+        return self.geometry.lane_size(self.orientation)
+
+    @property
+    def writes_per_gate(self) -> int:
+        """Cell writes per logic gate (2 when pre-setting is required)."""
+        return 2 if self.presets_output else 1
+
+    def resized(self, rows: int, cols: int) -> "PIMArchitecture":
+        """A copy with different array dimensions."""
+        return replace(self, geometry=ArrayGeometry(rows, cols))
+
+    def with_technology(self, technology: Technology) -> "PIMArchitecture":
+        """A copy on a different memory technology."""
+        return replace(self, technology=technology)
+
+
+#: CRAM with one transistor per cell: column-parallel MTJ logic that
+#: pre-sets gate outputs [Resch 2019/2020, Cilasun 2020].
+CRAM_COLUMN = PIMArchitecture(
+    name="CRAM-1T",
+    geometry=ArrayGeometry(1024, 1024),
+    orientation=Orientation.COLUMN_PARALLEL,
+    logic_style=LogicStyle.VOLTAGE_DIVIDER,
+    presets_output=True,
+    library=NAND_LIBRARY,
+    technology=MRAM,
+)
+
+#: CRAM with two transistors per cell: row-parallel MTJ logic
+#: [Chowdhury 2017, Zabihi 2018].
+CRAM_ROW = PIMArchitecture(
+    name="CRAM-2T",
+    geometry=ArrayGeometry(1024, 1024),
+    orientation=Orientation.ROW_PARALLEL,
+    logic_style=LogicStyle.VOLTAGE_DIVIDER,
+    presets_output=True,
+    library=NAND_LIBRARY,
+    technology=MRAM,
+)
+
+#: Pinatubo: sense-amplifier logic on PCM/NVM, column-parallel; the output
+#: is written back through the periphery, so no pre-set is needed
+#: [Li 2016]. Modelled here on RRAM to contrast endurance.
+PINATUBO = PIMArchitecture(
+    name="Pinatubo",
+    geometry=ArrayGeometry(1024, 1024),
+    orientation=Orientation.COLUMN_PARALLEL,
+    logic_style=LogicStyle.SENSE_AMP,
+    presets_output=False,
+    library=NAND_LIBRARY,
+    technology=RRAM,
+)
+
+#: MAGIC on memristive RRAM: NOR-native in-array logic [Kvatinsky 2014].
+MAGIC_RRAM = PIMArchitecture(
+    name="MAGIC",
+    geometry=ArrayGeometry(1024, 1024),
+    orientation=Orientation.COLUMN_PARALLEL,
+    logic_style=LogicStyle.VOLTAGE_DIVIDER,
+    presets_output=True,
+    library=NOR_LIBRARY,
+    technology=RRAM,
+)
+
+
+def default_architecture(rows: int = 1024, cols: int = 1024) -> PIMArchitecture:
+    """The paper's evaluation reference point (Section 4).
+
+    A column-parallel architecture "as a more realistic hardware
+    implementation, requiring few modifications to existing NVM designs",
+    with CRAM-style output pre-set accounting, on MTJ endurance (1e12).
+    """
+    return CRAM_COLUMN.resized(rows, cols)

@@ -1,0 +1,175 @@
+"""Failed-cell analysis: how broken cells shrink the usable lane space.
+
+Section 3.3: parallel PIM requires operands at the *same offsets in every
+lane*, so "even a single cell failure in a single lane can deem all cells
+at the same address in other lanes useless" (Fig. 11a). With random
+failures the usable fraction of each lane collapses rapidly (Fig. 11b).
+
+The workaround the paper discusses — "divide lanes into different sets,
+and only use lanes in the same set in parallel ... at a quickly increasing
+cost in latency, as different sets must run sequentially" — is implemented
+by :func:`plan_lane_sets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.array.geometry import ArrayGeometry, Orientation
+
+
+def usable_offsets(failed: np.ndarray, orientation: Orientation) -> np.ndarray:
+    """Boolean mask of lane offsets usable by *all-lane* parallel compute.
+
+    An offset is usable iff no lane has a failed cell there.
+
+    Args:
+        failed: ``rows x cols`` boolean failure mask.
+        orientation: Lane orientation.
+    """
+    if failed.dtype != bool:
+        raise ValueError("failed mask must be boolean")
+    if orientation is Orientation.COLUMN_PARALLEL:
+        # offsets are rows; an offset dies if any column fails there
+        return ~failed.any(axis=1)
+    return ~failed.any(axis=0)
+
+
+def expected_usable_fraction(
+    failed_fraction: "float | np.ndarray", lane_count: int
+) -> "float | np.ndarray":
+    """Analytic expectation of the Fig. 11b curve.
+
+    With cells failing independently with probability ``p``, an offset
+    survives iff all ``lane_count`` cells at that offset survive:
+    ``(1 - p) ** lane_count``. The curve's collapse is brutal: at
+    ``p = 0.5%`` on a 1024-lane array, fewer than 1% of offsets survive.
+    """
+    p = np.asarray(failed_fraction, dtype=float)
+    if np.any((p < 0) | (p > 1)):
+        raise ValueError("failed_fraction must be within [0, 1]")
+    if lane_count <= 0:
+        raise ValueError("lane_count must be positive")
+    result = (1.0 - p) ** lane_count
+    if np.isscalar(failed_fraction):
+        return float(result)
+    return result
+
+
+def usable_fraction_curve(
+    geometry: ArrayGeometry,
+    orientation: Orientation,
+    failed_fractions: Sequence[float],
+    trials: int = 8,
+    rng: "np.random.Generator | int | None" = None,
+) -> np.ndarray:
+    """Monte-Carlo estimate of the Fig. 11b curve.
+
+    For each failure fraction, marks that share of cells failed uniformly
+    at random and measures the surviving share of lane offsets, averaged
+    over ``trials`` draws.
+
+    Returns:
+        Array of usable-offset fractions, one per input failure fraction.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    generator = np.random.default_rng(rng)
+    n_cells = geometry.n_cells
+    lane_size = geometry.lane_size(orientation)
+    results = np.zeros(len(failed_fractions))
+    for i, fraction in enumerate(failed_fractions):
+        if not 0 <= fraction <= 1:
+            raise ValueError(f"failure fraction {fraction} outside [0, 1]")
+        n_failed = int(round(fraction * n_cells))
+        total = 0.0
+        for _ in range(trials):
+            failed = np.zeros(n_cells, dtype=bool)
+            if n_failed:
+                failed[generator.choice(n_cells, size=n_failed, replace=False)] = True
+            mask = failed.reshape(geometry.rows, geometry.cols)
+            total += usable_offsets(mask, orientation).sum() / lane_size
+        results[i] = total / trials
+    return results
+
+
+@dataclass(frozen=True)
+class LaneSetPlan:
+    """A partition of lanes into sets run sequentially (Section 3.3).
+
+    Attributes:
+        sets: Lane index groups; groups run one after another.
+        usable_per_set: Usable lane offsets within each set (an offset is
+            usable for a set iff no lane *in that set* fails there).
+        latency_multiplier: Slowdown versus all-lane parallel operation
+            (= number of sets).
+    """
+
+    sets: Tuple[Tuple[int, ...], ...]
+    usable_per_set: Tuple[int, ...]
+    latency_multiplier: int
+
+    @property
+    def min_usable(self) -> int:
+        """Usable offsets in the worst set (gates the runnable programs)."""
+        return min(self.usable_per_set)
+
+
+def plan_lane_sets(
+    failed: np.ndarray,
+    orientation: Orientation,
+    n_sets: int,
+    geometry: Optional[ArrayGeometry] = None,
+) -> LaneSetPlan:
+    """Partition lanes into ``n_sets`` groups to recover usable offsets.
+
+    Greedy bin packing: lanes are placed, most-damaged first, into the set
+    whose union of failed offsets grows the least. Splitting lanes into
+    more sets recovers usable space at a proportional latency cost —
+    exactly the trade-off Section 3.3 describes.
+
+    Args:
+        failed: ``rows x cols`` boolean failure mask.
+        orientation: Lane orientation.
+        n_sets: Number of sequential lane sets.
+        geometry: Optional geometry check against the mask shape.
+    """
+    if failed.dtype != bool:
+        raise ValueError("failed mask must be boolean")
+    if n_sets <= 0:
+        raise ValueError("n_sets must be positive")
+    if geometry is not None and failed.shape != (geometry.rows, geometry.cols):
+        raise ValueError("failure mask does not match geometry")
+    # per-lane failed-offset masks, shape (lane, offset)
+    per_lane = failed.T if orientation is Orientation.COLUMN_PARALLEL else failed
+    lane_count, lane_size = per_lane.shape
+    if n_sets > lane_count:
+        raise ValueError(f"cannot split {lane_count} lanes into {n_sets} sets")
+
+    order = np.argsort(-per_lane.sum(axis=1))  # most damaged lanes first
+    unions = [np.zeros(lane_size, dtype=bool) for _ in range(n_sets)]
+    members: List[List[int]] = [[] for _ in range(n_sets)]
+    sizes = np.zeros(n_sets, dtype=np.int64)
+    target = int(np.ceil(lane_count / n_sets))
+    for lane in order:
+        best, best_cost = None, None
+        for s in range(n_sets):
+            if sizes[s] >= target:
+                continue
+            cost = int(np.count_nonzero(unions[s] | per_lane[lane]))
+            if best_cost is None or cost < best_cost:
+                best, best_cost = s, cost
+        assert best is not None  # target * n_sets >= lane_count
+        unions[best] |= per_lane[lane]
+        members[best].append(int(lane))
+        sizes[best] += 1
+
+    usable = tuple(int(lane_size - union.sum()) for union in unions)
+    return LaneSetPlan(
+        sets=tuple(tuple(sorted(group)) for group in members),
+        usable_per_set=usable,
+        latency_multiplier=n_sets,
+    )

@@ -1,0 +1,93 @@
+"""Array geometry and the lane abstraction.
+
+The paper: "we will use the word *lane* to refer to the collection of cells
+(either in a row or a column) which can work together to perform
+computation. For column-parallel architectures, a lane is a single column;
+and for row-parallel architectures, a single row." (Section 2.2)
+
+A cell is addressed either physically as ``(row, col)`` or lane-wise as
+``(lane, offset)``; :class:`ArrayGeometry` converts between the two for a
+given :class:`Orientation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+
+class Orientation(Enum):
+    """Which dimension provides gate-level parallelism.
+
+    ``COLUMN_PARALLEL``: lanes are columns, one gate per column at a time,
+    all columns simultaneously (Pinatubo, CRAM 1T). The paper's evaluation
+    uses this "as a more realistic hardware implementation" (Section 4).
+
+    ``ROW_PARALLEL``: lanes are rows (CRAM 2T, SOT-CRAM).
+    """
+
+    ROW_PARALLEL = "row"
+    COLUMN_PARALLEL = "column"
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Dimensions of one PIM array.
+
+    The paper chooses 1024 x 1024, "a typical subarray size used for NVM,
+    large enough to perform non-trivial computations, yet small enough to
+    maintain electrical properties to feasibly enable PIM" (Section 4).
+    """
+
+    rows: int = 1024
+    cols: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError(f"invalid geometry {self.rows}x{self.cols}")
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of memory cells."""
+        return self.rows * self.cols
+
+    def lane_count(self, orientation: Orientation) -> int:
+        """Number of lanes (the degree of gate-level parallelism)."""
+        if orientation is Orientation.COLUMN_PARALLEL:
+            return self.cols
+        return self.rows
+
+    def lane_size(self, orientation: Orientation) -> int:
+        """Bits per lane (the space available to one computation)."""
+        if orientation is Orientation.COLUMN_PARALLEL:
+            return self.rows
+        return self.cols
+
+    def cell_of(
+        self, lane: int, offset: int, orientation: Orientation
+    ) -> Tuple[int, int]:
+        """Physical ``(row, col)`` of lane-wise address ``(lane, offset)``.
+
+        Raises:
+            IndexError: if the lane or offset is out of range.
+        """
+        if not 0 <= lane < self.lane_count(orientation):
+            raise IndexError(f"lane {lane} out of range")
+        if not 0 <= offset < self.lane_size(orientation):
+            raise IndexError(f"offset {offset} out of range")
+        if orientation is Orientation.COLUMN_PARALLEL:
+            return offset, lane
+        return lane, offset
+
+    def lane_address_of(
+        self, row: int, col: int, orientation: Orientation
+    ) -> Tuple[int, int]:
+        """Lane-wise ``(lane, offset)`` of physical cell ``(row, col)``."""
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range")
+        if not 0 <= col < self.cols:
+            raise IndexError(f"col {col} out of range")
+        if orientation is Orientation.COLUMN_PARALLEL:
+            return col, row
+        return row, col

@@ -1,0 +1,128 @@
+"""Per-cell array state: read/write counters and failure marks.
+
+The paper's simulator "is instruction-level accurate, and each write to
+each memory cell is counted" (Section 4). :class:`ArrayState` holds those
+counters as numpy matrices in physical ``(row, col)`` coordinates, plus a
+failure mask for the Section 3.3 analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.array.geometry import ArrayGeometry, Orientation
+
+
+class ArrayState:
+    """Mutable per-cell counters for one PIM array.
+
+    Attributes:
+        geometry: The array dimensions.
+        write_counts: ``rows x cols`` accumulated cell writes (float64 so
+            epoch-extrapolated fractional counts stay exact in expectation).
+        read_counts: ``rows x cols`` accumulated cell reads.
+        failed: Boolean mask of permanently failed cells.
+    """
+
+    def __init__(self, geometry: ArrayGeometry) -> None:
+        self.geometry = geometry
+        shape = (geometry.rows, geometry.cols)
+        self.write_counts = np.zeros(shape, dtype=np.float64)
+        self.read_counts = np.zeros(shape, dtype=np.float64)
+        self.failed = np.zeros(shape, dtype=bool)
+
+    # -- single-cell events (exact replay path) -------------------------
+
+    def record_write(self, lane: int, offset: int, orientation: Orientation) -> None:
+        """Count one write at lane-wise address ``(lane, offset)``."""
+        row, col = self.geometry.cell_of(lane, offset, orientation)
+        self.write_counts[row, col] += 1
+
+    def record_read(self, lane: int, offset: int, orientation: Orientation) -> None:
+        """Count one read at lane-wise address ``(lane, offset)``."""
+        row, col = self.geometry.cell_of(lane, offset, orientation)
+        self.read_counts[row, col] += 1
+
+    # -- bulk accumulation (vectorized path) -----------------------------
+
+    def add_lane_profile(
+        self,
+        offset_counts: np.ndarray,
+        lane_weights: np.ndarray,
+        orientation: Orientation,
+        kind: str = "write",
+    ) -> None:
+        """Add an outer-product wear profile.
+
+        Every lane ``l`` receives ``offset_counts[o] * lane_weights[l]``
+        events at offset ``o``. This is the workhorse of the epoch algebra:
+        all lanes running the same program under the same mapping wear
+        identically, so their contribution is an outer product.
+
+        Args:
+            offset_counts: Per-offset event counts (length = lane size).
+            lane_weights: Per-lane multiplicity (length = lane count);
+                typically 0/1 membership, scaled by epoch length.
+            orientation: Lane orientation.
+            kind: ``"write"`` or ``"read"``.
+        """
+        offset_counts = np.asarray(offset_counts, dtype=np.float64)
+        lane_weights = np.asarray(lane_weights, dtype=np.float64)
+        if offset_counts.shape != (self.geometry.lane_size(orientation),):
+            raise ValueError(
+                f"offset_counts length {offset_counts.shape} != lane size "
+                f"{self.geometry.lane_size(orientation)}"
+            )
+        if lane_weights.shape != (self.geometry.lane_count(orientation),):
+            raise ValueError(
+                f"lane_weights length {lane_weights.shape} != lane count "
+                f"{self.geometry.lane_count(orientation)}"
+            )
+        target = self._target(kind)
+        if orientation is Orientation.COLUMN_PARALLEL:
+            # offsets are rows, lanes are columns
+            target += np.outer(offset_counts, lane_weights)
+        else:
+            target += np.outer(lane_weights, offset_counts)
+
+    def _target(self, kind: str) -> np.ndarray:
+        if kind == "write":
+            return self.write_counts
+        if kind == "read":
+            return self.read_counts
+        raise ValueError(f"kind must be 'write' or 'read', got {kind!r}")
+
+    # -- summaries --------------------------------------------------------
+
+    @property
+    def max_writes(self) -> float:
+        """The hottest cell's write count — the denominator of Eq. 4."""
+        return float(self.write_counts.max())
+
+    @property
+    def total_writes(self) -> float:
+        """Total writes across the array."""
+        return float(self.write_counts.sum())
+
+    @property
+    def total_reads(self) -> float:
+        """Total reads across the array."""
+        return float(self.read_counts.sum())
+
+    def lane_view(self, counts: np.ndarray, orientation: Orientation) -> np.ndarray:
+        """View a physical counts matrix as ``(offset, lane)``.
+
+        For column-parallel arrays this is the matrix itself (rows are
+        offsets); for row-parallel it is the transpose.
+        """
+        if counts.shape != (self.geometry.rows, self.geometry.cols):
+            raise ValueError("counts matrix does not match geometry")
+        if orientation is Orientation.COLUMN_PARALLEL:
+            return counts
+        return counts.T
+
+    def reset(self) -> None:
+        """Zero all counters and clear failures."""
+        self.write_counts[:] = 0.0
+        self.read_counts[:] = 0.0
+        self.failed[:] = False

@@ -1,0 +1,50 @@
+"""Load balancing (wear leveling) for NVPIM.
+
+Implements the paper's strategy space (Section 3.2):
+
+* **Software** re-mapping of the logical-to-physical bit map, within lanes
+  and between lanes, applied at recompile time: Static (``St``), Random
+  shuffling (``Ra``), Byte-shifting (``Bs``) — 9 combinations;
+* **Hardware** re-mapping (``Hw``): spare-bit register renaming applied on
+  every write/gate, modelled exactly via a permutation-cycle algebra;
+* **Memory-access-aware** re-mapping: COPY-gate shuffling whose gate
+  overhead reproduces Table 2;
+* **Standard-NVM baselines** (Start-Gap, table-based remap) plus the
+  Fig. 6 demonstration of why word-granularity remapping breaks PIM.
+"""
+
+from repro.balance.mapping import (
+    byte_shift_permutation,
+    identity_permutation,
+    random_permutation,
+)
+from repro.balance.software import StrategyKind, make_permutation
+from repro.balance.hardware import HardwareRemapper
+from repro.balance.access_aware import (
+    shuffle_copy_gates,
+    shuffle_overhead_percent,
+    table2_rows,
+)
+from repro.balance.nvm_baselines import (
+    StartGapRemapper,
+    TableBasedRemapper,
+    pim_and_after_remap,
+)
+from repro.balance.config import BalanceConfig, all_configurations
+
+__all__ = [
+    "identity_permutation",
+    "random_permutation",
+    "byte_shift_permutation",
+    "StrategyKind",
+    "make_permutation",
+    "HardwareRemapper",
+    "shuffle_copy_gates",
+    "shuffle_overhead_percent",
+    "table2_rows",
+    "StartGapRemapper",
+    "TableBasedRemapper",
+    "pim_and_after_remap",
+    "BalanceConfig",
+    "all_configurations",
+]

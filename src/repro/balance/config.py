@@ -1,0 +1,127 @@
+"""The 18-point load-balancing configuration space of the evaluation.
+
+Section 4: "we experiment with two strategies in software, random
+shuffling of addresses and byte-shifting of addresses ... We also include
+a static strategy ... Each of these strategies can be used within lanes
+(rows) or between lanes (columns), giving rise to a total of 9 different
+load balancing configurations. Hardware re-mapping is applied only within
+the lane and can be turned on or off. Hence, there is a total of 18 load
+balancing configurations per benchmark."
+
+Labels follow the figures: ``<within>x<between>`` with an optional
+``+Hw`` — e.g. ``RaxBs+Hw``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+from repro.balance.software import StrategyKind
+
+#: The paper's default recompile interval for the heatmap figures
+#: ("re-compilation every 100 iterations", Figs. 14-16).
+DEFAULT_RECOMPILE_INTERVAL = 100
+
+
+@dataclass(frozen=True)
+class BalanceConfig:
+    """One load-balancing configuration.
+
+    Attributes:
+        within: Software strategy for bit offsets within each lane.
+        between: Software strategy for whole lanes.
+        hardware: Whether spare-bit hardware re-mapping is active.
+        recompile_interval: Iterations between software re-mapping epochs
+            ("software re-mapping can be invoked every time the program is
+            recompiled", Section 4).
+    """
+
+    within: StrategyKind = StrategyKind.STATIC
+    between: StrategyKind = StrategyKind.STATIC
+    hardware: bool = False
+    recompile_interval: int = DEFAULT_RECOMPILE_INTERVAL
+
+    def __post_init__(self) -> None:
+        if self.recompile_interval < 1:
+            raise ValueError("recompile_interval must be positive")
+
+    @property
+    def label(self) -> str:
+        """The paper's figure label, e.g. ``"RaxBs+Hw"``."""
+        text = f"{self.within.label}x{self.between.label}"
+        if self.hardware:
+            text += "+Hw"
+        return text
+
+    @property
+    def is_static(self) -> bool:
+        """True for the no-balancing baseline St x St (without Hw)."""
+        return (
+            self.within is StrategyKind.STATIC
+            and self.between is StrategyKind.STATIC
+            and not self.hardware
+        )
+
+    @property
+    def needs_recompilation(self) -> bool:
+        """Whether any software strategy actually re-maps per epoch."""
+        return (
+            self.within is not StrategyKind.STATIC
+            or self.between is not StrategyKind.STATIC
+        )
+
+    def with_interval(self, recompile_interval: int) -> "BalanceConfig":
+        """A copy at a different recompile interval."""
+        return replace(self, recompile_interval=recompile_interval)
+
+    @classmethod
+    def from_label(
+        cls, label: str, recompile_interval: int = DEFAULT_RECOMPILE_INTERVAL
+    ) -> "BalanceConfig":
+        """Parse a figure label like ``"StxRa"`` or ``"BsxBs+Hw"``."""
+        text = label.strip()
+        hardware = False
+        if text.lower().endswith("+hw"):
+            hardware = True
+            text = text[: -len("+hw")]
+        parts = text.split("x")
+        if len(parts) != 2:
+            raise ValueError(
+                f"cannot parse balance label {label!r} "
+                "(expected '<St|Ra|Bs>x<St|Ra|Bs>[+Hw]')"
+            )
+        return cls(
+            within=StrategyKind.from_label(parts[0]),
+            between=StrategyKind.from_label(parts[1]),
+            hardware=hardware,
+            recompile_interval=recompile_interval,
+        )
+
+
+def all_configurations(
+    recompile_interval: int = DEFAULT_RECOMPILE_INTERVAL,
+) -> List[BalanceConfig]:
+    """The 18 configurations of Figs. 14-17, in figure order.
+
+    Figure order: hardware off then on; within each block, between-lane
+    strategy varies slowest (St, Ra, Bs) and within-lane fastest.
+    """
+    paper_kinds = (
+        StrategyKind.STATIC,
+        StrategyKind.RANDOM,
+        StrategyKind.BYTE_SHIFT,
+    )
+    configs = []
+    for hardware in (False, True):
+        for between in paper_kinds:
+            for within in paper_kinds:
+                configs.append(
+                    BalanceConfig(
+                        within=within,
+                        between=between,
+                        hardware=hardware,
+                        recompile_interval=recompile_interval,
+                    )
+                )
+    return configs

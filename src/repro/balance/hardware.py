@@ -1,0 +1,254 @@
+"""Hardware re-mapping: spare-bit register renaming within a lane.
+
+Section 3.2: "Hardware re-mapping requires a spare bit which can be used
+to swap logical addresses. For a lane with N physical bits, there are N-1
+logical bit addresses and 1 free bit address. ... when a write operation is
+performed to logical bit address A in all lanes, the hardware re-directs
+the write to the free physical address, overwriting its contents. It then
+marks the free physical address as logical address A, and assigns the
+previous physical address of A as the free address."
+
+The evaluation applies this "most extreme case of re-mapping on every gate
+that uses all lanes" (Section 4). For CRAM-style architectures the pre-set
+write accompanies the renamed gate write onto the *same* new physical cell
+("an additional write operation would be required"), so a preset gate
+counts as one renaming event of write-weight two.
+
+Exact fast path
+---------------
+
+Naively this is a per-write stateful simulation — tens of millions of
+sequential steps for the paper's 100,000 iterations. We instead exploit a
+closed form. Model the lane mapping as a bijection ``pi: domain ->
+physical`` where the domain is the N-1 logical addresses plus one FREE
+slot. A renamed write to logical ``a`` swaps ``pi(FREE)`` and ``pi(a)`` —
+a *domain-side* transposition, independent of ``pi``'s values. Hence after
+one iteration of a fixed program, ``pi_1 = pi_0 ∘ tau`` for a fixed
+permutation ``tau``, and after ``k`` iterations ``pi_k = pi_0 ∘ tau^k``.
+The i-th write of iteration ``k`` lands on ``pi_0(tau^k(d_i))`` where
+``d_i`` is a fixed domain element recorded from one symbolic pass. Summing
+over ``k`` reduces to counting visits along the cycles of ``tau`` — an
+``O(writes + N * (K mod L))`` computation that is *bit-exact* with the
+naive replay (property-tested in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.gates.gate import Gate
+from repro.synth.program import LaneProgram, ReadInstr, WriteInstr
+
+
+class HardwareRemapper:
+    """Exact wear profile of one lane program under hardware re-mapping.
+
+    One instance is built per (program, lane size, preset accounting)
+    triple; it precomputes the per-iteration domain trace and the renaming
+    permutation ``tau``, after which profiles for any horizon and any
+    initial software mapping are cheap.
+
+    Args:
+        program: The lane program whose writes get renamed.
+        lane_size: Physical bits in the lane (``N``); the program footprint
+            must leave at least one spare bit.
+        include_presets: Count the CRAM pre-set as an extra write riding on
+            each gate's renaming event.
+    """
+
+    def __init__(
+        self, program: LaneProgram, lane_size: int, include_presets: bool
+    ) -> None:
+        if program.footprint > lane_size - 1:
+            raise ValueError(
+                f"hardware re-mapping needs a spare bit: program footprint "
+                f"{program.footprint} must be < lane size {lane_size}"
+            )
+        self.program = program
+        self.lane_size = int(lane_size)
+        self.include_presets = bool(include_presets)
+        self._free_slot = self.lane_size - 1  # domain index of the FREE slot
+        self._tau, self._write_events, self._read_events = self._domain_trace()
+        self._cycles = _cycles_of(self._tau)
+        # Epochs of equal length share their domain-count vectors: the
+        # renaming dynamics depend only on the horizon, not on the software
+        # mapping installed at epoch start.
+        self._domain_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Symbolic single-iteration pass
+    # ------------------------------------------------------------------
+
+    def _domain_trace(
+        self,
+    ) -> Tuple[np.ndarray, List[Tuple[int, int]], List[int]]:
+        """One iteration in domain coordinates, starting from identity.
+
+        Returns ``(tau, write_events, read_events)``: the per-iteration
+        domain permutation, the ``(domain_element, write_weight)`` of each
+        renaming event, and the domain element of each read.
+        """
+        n = self.lane_size
+        free = self._free_slot
+        sigma = np.arange(n, dtype=np.int64)  # current domain permutation
+        write_events: List[Tuple[int, int]] = []
+        read_events: List[int] = []
+        gate_weight = 2 if self.include_presets else 1
+        for instr in self.program.instructions:
+            if isinstance(instr, WriteInstr):
+                write_events.append((int(sigma[free]), 1))
+                sigma[free], sigma[instr.address] = (
+                    sigma[instr.address],
+                    sigma[free],
+                )
+            elif isinstance(instr, ReadInstr):
+                read_events.append(int(sigma[instr.address]))
+            elif isinstance(instr, Gate):
+                for address in instr.inputs:
+                    read_events.append(int(sigma[address]))
+                write_events.append((int(sigma[free]), gate_weight))
+                sigma[free], sigma[instr.output] = (
+                    sigma[instr.output],
+                    sigma[free],
+                )
+            else:
+                raise TypeError(f"unknown instruction {instr!r}")
+        return sigma, write_events, read_events
+
+    # ------------------------------------------------------------------
+    # Exact multi-iteration profiles
+    # ------------------------------------------------------------------
+
+    def profile(
+        self, iterations: int, within_map: "np.ndarray | None" = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-physical-offset ``(writes, reads)`` over ``iterations`` runs.
+
+        Args:
+            iterations: Number of program repetitions (one epoch).
+            within_map: Initial logical-to-physical permutation installed by
+                the software strategy at the start of the epoch (identity if
+                omitted). Its image of the top logical slot is the initial
+                free cell.
+
+        Returns:
+            Two float arrays of length ``lane_size`` in *physical* offsets.
+        """
+        if iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        cached = self._domain_cache.get(iterations)
+        if cached is None:
+            cached = (
+                self._domain_counts(self._write_events, iterations),
+                self._domain_counts(
+                    [(e, 1) for e in self._read_events], iterations
+                ),
+            )
+            self._domain_cache[iterations] = cached
+        domain_writes, domain_reads = cached
+        n = self.lane_size
+        pi0 = (
+            np.arange(n, dtype=np.int64)
+            if within_map is None
+            else np.asarray(within_map, dtype=np.int64)
+        )
+        if pi0.shape != (n,):
+            raise ValueError(f"within_map must have length {n}")
+        physical_writes = np.zeros(n)
+        physical_writes[pi0] = domain_writes
+        physical_reads = np.zeros(n)
+        physical_reads[pi0] = domain_reads
+        return physical_writes, physical_reads
+
+    def _domain_counts(
+        self, events: List[Tuple[int, int]], iterations: int
+    ) -> np.ndarray:
+        """Accumulated event counts per domain element over ``iterations``.
+
+        Event ``(d, w)`` contributes weight ``w`` to element
+        ``tau^k(d)`` for every iteration ``k``; elements on a ``tau``-cycle
+        of length ``L`` are visited ``K // L`` times plus once more for the
+        first ``K mod L`` phase offsets.
+        """
+        n = self.lane_size
+        counts = np.zeros(n)
+        if iterations == 0 or not events:
+            return counts
+        weights = np.zeros(n)
+        for domain_element, weight in events:
+            weights[domain_element] += weight
+        for cycle in self._cycles:
+            length = cycle.size
+            m = weights[cycle]  # event weight by cycle position
+            if not m.any():
+                continue
+            full, remainder = divmod(iterations, length)
+            cycle_counts = np.full(length, full * m.sum())
+            # tau^k advances a cycle position by k; the first `remainder`
+            # phases deliver one extra visit each.
+            for delta in range(remainder):
+                cycle_counts += np.roll(m, delta)
+            counts[cycle] += cycle_counts
+        return counts
+
+    # ------------------------------------------------------------------
+    # Reference implementation (used to validate the algebra)
+    # ------------------------------------------------------------------
+
+    def simulate_explicit(
+        self, iterations: int, within_map: "np.ndarray | None" = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Naive stateful replay; bit-identical to :meth:`profile`.
+
+        Exposed for tests and for readers who want the paper's mechanism
+        spelled out operationally. O(iterations * instructions).
+        """
+        n = self.lane_size
+        mapping = (
+            np.arange(n, dtype=np.int64)
+            if within_map is None
+            else np.asarray(within_map, dtype=np.int64).copy()
+        )
+        l2p = mapping[: n - 1].copy()  # logical address -> physical offset
+        free = int(mapping[n - 1])  # physical offset of the spare bit
+        writes = np.zeros(n)
+        reads = np.zeros(n)
+        gate_weight = 2 if self.include_presets else 1
+
+        def renamed_write(address: int, weight: int) -> None:
+            nonlocal free
+            writes[free] += weight
+            free, l2p[address] = int(l2p[address]), free
+
+        for _ in range(iterations):
+            for instr in self.program.instructions:
+                if isinstance(instr, WriteInstr):
+                    renamed_write(instr.address, 1)
+                elif isinstance(instr, ReadInstr):
+                    reads[l2p[instr.address]] += 1
+                elif isinstance(instr, Gate):
+                    for address in instr.inputs:
+                        reads[l2p[address]] += 1
+                    renamed_write(instr.output, gate_weight)
+        return writes, reads
+
+
+def _cycles_of(permutation: np.ndarray) -> List[np.ndarray]:
+    """Cycle decomposition; each cycle lists elements in tau-orbit order."""
+    n = permutation.size
+    visited = np.zeros(n, dtype=bool)
+    cycles: List[np.ndarray] = []
+    for start in range(n):
+        if visited[start]:
+            continue
+        cycle = [start]
+        visited[start] = True
+        current = int(permutation[start])
+        while current != start:
+            cycle.append(current)
+            visited[current] = True
+            current = int(permutation[current])
+        cycles.append(np.asarray(cycle, dtype=np.int64))
+    return cycles

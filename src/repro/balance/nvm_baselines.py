@@ -1,0 +1,157 @@
+"""Standard-NVM wear-leveling baselines — and why they break PIM.
+
+The paper's Section 3.2 argues that classic NVM load balancing
+("redistribute write operations by modifying the virtual to physical
+address mapping over time") is not directly applicable to PIM because PIM
+couples the physical locations of variables: "correct computation
+constrains data layout by requiring alignment of the input operands in
+memory" (Fig. 6).
+
+This module provides two representative classic mechanisms as working
+baselines — Start-Gap [Qureshi 2009] and a write-count table remapper (the
+pre-Start-Gap approach the paper's related work describes) — plus
+:func:`pim_and_after_remap`, an executable rendition of the Fig. 6
+misalignment argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+
+class StartGapRemapper:
+    """Start-Gap wear leveling [Qureshi 2009] for a standard NVM region.
+
+    ``n_lines`` logical lines live in ``n_lines + 1`` physical lines; the
+    extra line is the *gap*. Every ``gap_write_interval`` writes the gap
+    moves down by one line (one line's content is copied into the gap),
+    and once the gap has traversed the whole region the *start* register
+    advances, rotating the entire logical-to-physical mapping by one. Two
+    registers and one spare line achieve near-uniform wear — the paper's
+    point of contrast: cheap for memory, unusable for PIM because it
+    relocates single lines and so breaks operand alignment.
+
+    Args:
+        n_lines: Number of logical lines.
+        gap_write_interval: Writes between gap movements (Qureshi's psi).
+    """
+
+    def __init__(self, n_lines: int, gap_write_interval: int = 100) -> None:
+        if n_lines < 2:
+            raise ValueError("n_lines must be at least 2")
+        if gap_write_interval < 1:
+            raise ValueError("gap_write_interval must be positive")
+        self.n_lines = n_lines
+        self.gap_write_interval = gap_write_interval
+        self.start = 0
+        self.gap = n_lines  # physical index of the gap line
+        self._writes_since_move = 0
+        #: Physical write counts, including gap-movement copy writes.
+        self.physical_writes = np.zeros(n_lines + 1, dtype=np.int64)
+
+    def translate(self, logical: int) -> int:
+        """Physical line currently backing ``logical``."""
+        if not 0 <= logical < self.n_lines:
+            raise IndexError(f"logical line {logical} out of range")
+        physical = (logical + self.start) % self.n_lines
+        if physical >= self.gap:
+            physical += 1
+        return physical
+
+    def write(self, logical: int) -> int:
+        """Perform one logical write; returns the physical line written."""
+        physical = self.translate(logical)
+        self.physical_writes[physical] += 1
+        self._writes_since_move += 1
+        if self._writes_since_move >= self.gap_write_interval:
+            self._writes_since_move = 0
+            self._move_gap()
+        return physical
+
+    def _move_gap(self) -> None:
+        if self.gap == 0:
+            self.gap = self.n_lines
+            self.start = (self.start + 1) % self.n_lines
+        else:
+            # Copy line gap-1 into the gap: one extra physical write.
+            self.physical_writes[self.gap] += 1
+            self.gap -= 1
+
+
+class TableBasedRemapper:
+    """Write-count-table remapping (the pre-Start-Gap classic).
+
+    Tracks per-physical-line write counts and, every ``swap_interval``
+    writes, swaps the hottest line's mapping with the coldest line's. The
+    table cost is what Start-Gap was designed to eliminate ("prior to
+    Start-Gap large tables were typically used to track write counts",
+    Section 6) — and bit-granularity tables are exactly what the paper
+    deems unreasonable for PIM ("maintaining counters to track writes at
+    the bit-level is unreasonable", Section 3.2).
+    """
+
+    def __init__(self, n_lines: int, swap_interval: int = 1000) -> None:
+        if n_lines < 2:
+            raise ValueError("n_lines must be at least 2")
+        if swap_interval < 1:
+            raise ValueError("swap_interval must be positive")
+        self.n_lines = n_lines
+        self.swap_interval = swap_interval
+        self._l2p = np.arange(n_lines, dtype=np.int64)
+        self.physical_writes = np.zeros(n_lines, dtype=np.int64)
+        self._writes_since_swap = 0
+
+    def translate(self, logical: int) -> int:
+        """Physical line currently backing ``logical``."""
+        if not 0 <= logical < self.n_lines:
+            raise IndexError(f"logical line {logical} out of range")
+        return int(self._l2p[logical])
+
+    def write(self, logical: int) -> int:
+        """Perform one logical write; returns the physical line written."""
+        physical = self.translate(logical)
+        self.physical_writes[physical] += 1
+        self._writes_since_swap += 1
+        if self._writes_since_swap >= self.swap_interval:
+            self._writes_since_swap = 0
+            self._swap_extremes()
+        return physical
+
+    def _swap_extremes(self) -> None:
+        hot_physical = int(np.argmax(self.physical_writes))
+        cold_physical = int(np.argmin(self.physical_writes))
+        if hot_physical == cold_physical:
+            return
+        p2l: Dict[int, int] = {
+            int(p): l for l, p in enumerate(self._l2p)
+        }
+        hot_logical = p2l[hot_physical]
+        cold_logical = p2l[cold_physical]
+        # Swapping relocates both lines' contents: two extra writes.
+        self.physical_writes[hot_physical] += 1
+        self.physical_writes[cold_physical] += 1
+        self._l2p[hot_logical] = cold_physical
+        self._l2p[cold_logical] = hot_physical
+
+
+def pim_and_after_remap(x: int, y: int, width: int, shift: int) -> int:
+    """Fig. 6 as an executable statement: bitwise PIM AND after a remap.
+
+    ``x`` sits in row 0; a classic wear leveler has shifted ``y`` within
+    row 1 by ``shift`` bit positions (with wraparound). A column-parallel
+    PIM AND then combines bit ``i`` of ``x`` with whatever now occupies
+    column ``i`` of row 1. The result equals ``x & y`` only when
+    ``shift % width == 0`` — remapping that is harmless for standard memory
+    corrupts in-memory computation.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if x >> width or y >> width:
+        raise ValueError("operands must fit in the given width")
+    x_bits: List[int] = [(x >> i) & 1 for i in range(width)]
+    y_bits: List[int] = [(y >> i) & 1 for i in range(width)]
+    shifted = [y_bits[(i - shift) % width] for i in range(width)]
+    result_bits = [x_bits[i] & shifted[i] for i in range(width)]
+    return sum(bit << i for i, bit in enumerate(result_bits))

@@ -1,0 +1,376 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+Examples::
+
+    repro-endurance opcounts
+    repro-endurance table2
+    repro-endurance fig5
+    repro-endurance heatmap --workload conv --config RaxRa+Hw --iterations 5000
+    repro-endurance fig17 --workload dot --iterations 10000
+    repro-endurance table3 --iterations 10000
+    repro-endurance lifetime --technology RRAM
+    repro-endurance fig11b
+    repro-endurance report --workload dot --config RaxBs+Hw
+    repro-endurance export --workload conv --out results/
+    repro-endurance switching --bits 16
+    repro-endurance deployment --arrays 1024
+    repro-endurance remap-sweep --workload dot
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.array.architecture import default_architecture
+from repro.array.faults import expected_usable_fraction, usable_fraction_curve
+from repro.array.geometry import ArrayGeometry
+from repro.balance.config import BalanceConfig
+from repro.core.lifetime import (
+    eq1_operations_until_total_failure,
+    eq2_seconds_until_total_failure,
+    lifetime_from_result,
+)
+from repro.core.report import (
+    format_fig5,
+    format_fig11b,
+    format_fig17,
+    format_heatmap_stats,
+    format_lifetimes,
+    format_remap_frequency,
+    format_table,
+    format_table2,
+    format_table3,
+)
+from repro.core.simulator import EnduranceSimulator
+from repro.core.sweep import (
+    best_improvement,
+    configuration_grid,
+    remap_frequency_sweep,
+    technology_sweep,
+)
+from repro.devices.technology import MRAM, PCM, RRAM, technology_by_name
+from repro.gates.library import NAND_LIBRARY
+from repro.synth.analysis import (
+    conventional_multiplication_counts,
+    multiplier_counts,
+    pim_vs_conventional_write_ratio,
+)
+from repro.workloads.convolution import Convolution
+from repro.workloads.dotproduct import DotProduct
+from repro.workloads.multiply import ParallelMultiplication
+from repro.workloads.vectoradd import VectorAdd
+
+_WORKLOADS = {
+    "mult": lambda: ParallelMultiplication(bits=32),
+    "conv": lambda: Convolution(),
+    "dot": lambda: DotProduct(n_elements=1024, bits=32),
+    "add": lambda: VectorAdd(bits=32),
+}
+
+
+def _make_workload(name: str):
+    try:
+        return _WORKLOADS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from {sorted(_WORKLOADS)}"
+        ) from None
+
+
+def _make_simulator(args) -> EnduranceSimulator:
+    arch = default_architecture(args.rows, args.cols)
+    return EnduranceSimulator(arch, seed=args.seed)
+
+
+def cmd_opcounts(args) -> None:
+    """Section 3.1 operation-count claims."""
+    bits = args.bits
+    pim = multiplier_counts(bits, NAND_LIBRARY)
+    conventional = conventional_multiplication_counts(bits)
+    ratio = pim_vs_conventional_write_ratio(bits, NAND_LIBRARY)
+    cells = args.rows
+    rows = [
+        ("conventional", conventional.cell_reads, conventional.cell_writes,
+         f"{conventional.cell_reads / cells:.4f}", f"{conventional.cell_writes / cells:.4f}"),
+        ("PIM (NAND lib)", pim.cell_reads, pim.cell_writes,
+         f"{pim.cell_reads / cells:.2f}", f"{pim.cell_writes / cells:.2f}"),
+    ]
+    print(format_table(
+        ["Architecture", "Cell reads", "Cell writes", "Reads/cell", "Writes/cell"],
+        rows,
+        title=f"{bits}-bit multiplication memory traffic (Section 3.1)",
+    ))
+    print(f"\nPIM performs {ratio:.1f}x more cell writes than conventional.")
+
+
+def cmd_table2(args) -> None:
+    """Table 2: access-aware shuffle overhead."""
+    print(format_table2())
+
+
+def cmd_fig5(args) -> None:
+    """Fig. 5: per-cell reads/writes within a lane for one multiplication."""
+    arch = default_architecture(args.rows, args.cols)
+    program = ParallelMultiplication(bits=args.bits).build_program(arch)
+    writes = program.write_counts(arch.lane_size, include_presets=arch.presets_output)
+    reads = program.read_counts(arch.lane_size)
+    print(format_fig5(writes, reads, used_bits=program.footprint))
+
+
+def cmd_heatmap(args) -> None:
+    """One write-distribution heatmap (Figs. 14-16 cells)."""
+    sim = _make_simulator(args)
+    workload = _make_workload(args.workload)
+    config = BalanceConfig.from_label(args.config)
+    result = sim.run(workload, config, iterations=args.iterations)
+    dist = result.write_distribution
+    print(dist.ascii_heatmap(blocks=(args.rows // 32, args.cols // 16)))
+    print()
+    print(dist.summary())
+
+
+def cmd_fig17(args) -> None:
+    """Fig. 17: lifetime improvement across the 18 configurations."""
+    sim = _make_simulator(args)
+    workload = _make_workload(args.workload)
+    entries = configuration_grid(sim, workload, iterations=args.iterations)
+    print(format_fig17(entries, workload.name))
+    print(format_heatmap_stats([e.result.write_distribution for e in entries]))
+
+
+def cmd_table3(args) -> None:
+    """Table 3: utilization and best lifetime improvement per benchmark."""
+    sim = _make_simulator(args)
+    summaries = []
+    for name in ("mult", "conv", "dot"):
+        workload = _make_workload(name)
+        entries = configuration_grid(sim, workload, iterations=args.iterations)
+        best = best_improvement(entries)
+        mapping = entries[0].result.mapping
+        summaries.append(
+            (workload.name, mapping.lane_utilization, best.improvement)
+        )
+    print(format_table3(summaries))
+
+
+def cmd_lifetime(args) -> None:
+    """Lifetime bounds and technology contrast (Section 3.1)."""
+    geometry = ArrayGeometry(args.rows, args.cols)
+    tech = technology_by_name(args.technology)
+    eq1 = eq1_operations_until_total_failure(
+        geometry, tech.endurance_writes, args.writes_per_op
+    )
+    eq2 = eq2_seconds_until_total_failure(
+        geometry, tech.endurance_writes, geometry.cols
+    )
+    print(f"Technology: {tech.name} (endurance {tech.endurance_writes:.1e})")
+    print(f"Eq. 1 bound: {eq1:.3e} multiplications before total break-down")
+    print(f"Eq. 2 bound: {eq2:.0f} s = {eq2 / 86400:.2f} days at full utilization")
+    sim = _make_simulator(args)
+    result = sim.run(
+        _make_workload("mult"), BalanceConfig(), iterations=args.iterations
+    )
+    sweep = technology_sweep(result, [MRAM, RRAM, PCM])
+    print()
+    print(format_lifetimes(sweep))
+
+
+def cmd_fig11b(args) -> None:
+    """Fig. 11b: usable lane bits versus failed cells."""
+    geometry = ArrayGeometry(args.rows, args.cols)
+    arch = default_architecture(args.rows, args.cols)
+    fractions = [0.0, 1e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2]
+    measured = usable_fraction_curve(
+        geometry, arch.orientation, fractions, trials=args.trials,
+        rng=args.seed,
+    )
+    analytic = [
+        expected_usable_fraction(p, geometry.lane_count(arch.orientation))
+        for p in fractions
+    ]
+    print(format_fig11b(fractions, measured, analytic))
+
+
+def cmd_remap_sweep(args) -> None:
+    """Section 5 recompile-frequency sweep."""
+    sim = _make_simulator(args)
+    improvements = remap_frequency_sweep(
+        sim,
+        _make_workload(args.workload),
+        intervals=tuple(args.intervals),
+        iterations=args.iterations,
+    )
+    print(format_remap_frequency(improvements))
+
+
+def cmd_report(args) -> None:
+    """Full single-run report: distribution, heatmap, lifetimes."""
+    from repro.core.report import format_full_report
+
+    sim = _make_simulator(args)
+    result = sim.run(
+        _make_workload(args.workload),
+        BalanceConfig.from_label(args.config),
+        iterations=args.iterations,
+    )
+    print(format_full_report(result, technologies=[MRAM, RRAM, PCM]))
+
+
+def cmd_export(args) -> None:
+    """Run one configuration and save its artifacts (npz + csv + pgm)."""
+    import os
+
+    from repro.core.io import save_result
+
+    sim = _make_simulator(args)
+    workload = _make_workload(args.workload)
+    config = BalanceConfig.from_label(args.config)
+    result = sim.run(workload, config, iterations=args.iterations)
+    os.makedirs(args.out, exist_ok=True)
+    stem = os.path.join(
+        args.out, f"{workload.name}-{config.label}-{args.iterations}"
+    )
+    save_result(result, stem + ".npz")
+    dist = result.write_distribution
+    dist.to_csv(stem + ".csv")
+    dist.to_pgm(stem + ".pgm")
+    print(f"saved {stem}.npz / .csv / .pgm")
+    print(dist.summary())
+
+
+def cmd_switching(args) -> None:
+    """Data-dependent switching wear (extension E21)."""
+    from repro.core.switching import measure_switching
+
+    arch = default_architecture(args.rows, args.cols)
+    program = ParallelMultiplication(bits=args.bits).build_program(arch)
+    profile = measure_switching(program, samples=args.samples, rng=args.seed)
+    print(
+        f"{args.bits}-bit multiply, {args.samples} random-operand samples:\n"
+        f"  writes/iteration:   {int(profile.writes.sum())}\n"
+        f"  switches/iteration: {profile.switches.sum():.1f}\n"
+        f"  switch fraction:    {profile.switch_fraction:.2%}\n"
+        f"  switch-only lifetime factor: {profile.lifetime_factor:.2f}x"
+    )
+
+
+def cmd_deployment(args) -> None:
+    """Duty-cycle and array-farm lifetimes (extension E22)."""
+    from repro.core.system import ArrayFarm, lifetime_at_duty_cycle
+
+    sim = _make_simulator(args)
+    result = sim.run(
+        _make_workload("mult"), BalanceConfig(), iterations=args.iterations,
+        track_reads=False,
+    )
+    estimate = lifetime_from_result(result)
+    print(f"single array, full utilization: "
+          f"{estimate.days_to_failure:.1f} days")
+    rows = []
+    for duty in (1.0, 0.1, 0.01):
+        scaled = lifetime_at_duty_cycle(estimate, duty)
+        rows.append((f"{duty:.0%}", f"{scaled.years_to_failure:.2f}"))
+    print(format_table(["Duty cycle", "Years to failure"], rows))
+    farm = ArrayFarm(args.arrays, sigma=0.25, rng=args.seed)
+    summary = farm.replacement_horizon(estimate, failure_fraction=0.05)
+    print(f"\n{args.arrays}-array farm: first failure "
+          f"{summary.first_seconds / 86400:.1f} d, 5% dead at "
+          f"{summary.horizon_days:.1f} d")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-endurance",
+        description=(
+            "Reproduce 'On Endurance of Processing in (Nonvolatile) Memory' "
+            "(ISCA 2023)"
+        ),
+    )
+    parser.add_argument("--rows", type=int, default=1024, help="array rows")
+    parser.add_argument("--cols", type=int, default=1024, help="array columns")
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("opcounts", help="Section 3.1 operation counts")
+    p.add_argument("--bits", type=int, default=32)
+    p.set_defaults(func=cmd_opcounts)
+
+    p = sub.add_parser("table2", help="Table 2 shuffle overhead")
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("fig5", help="Fig. 5 lane write/read profile")
+    p.add_argument("--bits", type=int, default=32)
+    p.set_defaults(func=cmd_fig5)
+
+    p = sub.add_parser("heatmap", help="Figs. 14-16 heatmap for one config")
+    p.add_argument("--workload", default="mult", choices=sorted(_WORKLOADS))
+    p.add_argument("--config", default="StxSt")
+    p.add_argument("--iterations", type=int, default=5000)
+    p.set_defaults(func=cmd_heatmap)
+
+    p = sub.add_parser("fig17", help="Fig. 17 lifetime improvements")
+    p.add_argument("--workload", default="mult", choices=sorted(_WORKLOADS))
+    p.add_argument("--iterations", type=int, default=10000)
+    p.set_defaults(func=cmd_fig17)
+
+    p = sub.add_parser("table3", help="Table 3 summary")
+    p.add_argument("--iterations", type=int, default=10000)
+    p.set_defaults(func=cmd_table3)
+
+    p = sub.add_parser("lifetime", help="lifetime bounds + technology sweep")
+    p.add_argument("--technology", default="MRAM")
+    p.add_argument("--writes-per-op", type=float, default=9824)
+    p.add_argument("--iterations", type=int, default=2000)
+    p.set_defaults(func=cmd_lifetime)
+
+    p = sub.add_parser("fig11b", help="Fig. 11b failed-cell curve")
+    p.add_argument("--trials", type=int, default=4)
+    p.set_defaults(func=cmd_fig11b)
+
+    p = sub.add_parser("report", help="full report for one run")
+    p.add_argument("--workload", default="mult", choices=sorted(_WORKLOADS))
+    p.add_argument("--config", default="StxSt")
+    p.add_argument("--iterations", type=int, default=2000)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("export", help="run once and save npz/csv/pgm artifacts")
+    p.add_argument("--workload", default="mult", choices=sorted(_WORKLOADS))
+    p.add_argument("--config", default="StxSt")
+    p.add_argument("--iterations", type=int, default=2000)
+    p.add_argument("--out", default="results")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("switching", help="data-dependent switching wear")
+    p.add_argument("--bits", type=int, default=16)
+    p.add_argument("--samples", type=int, default=32)
+    p.set_defaults(func=cmd_switching)
+
+    p = sub.add_parser("deployment", help="duty-cycle / array-farm lifetimes")
+    p.add_argument("--iterations", type=int, default=500)
+    p.add_argument("--arrays", type=int, default=256)
+    p.set_defaults(func=cmd_deployment)
+
+    p = sub.add_parser("remap-sweep", help="recompile-frequency sweep")
+    p.add_argument("--workload", default="dot", choices=sorted(_WORKLOADS))
+    p.add_argument("--iterations", type=int, default=20000)
+    p.add_argument(
+        "--intervals", type=int, nargs="+",
+        default=[10000, 1000, 500, 100, 50, 10],
+    )
+    p.set_defaults(func=cmd_remap_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

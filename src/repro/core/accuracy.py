@@ -1,0 +1,118 @@
+"""Output accuracy under stuck-at faults.
+
+Section 3.3 asserts that once cells start failing "the array can produce
+incorrect results", and Eq. 4 therefore declares the array dead at its
+first cell failure. This module makes that assertion quantitative: inject
+stuck-at faults into a lane program's logical bits and measure how often
+(and how badly) its results are wrong on random operands.
+
+The headline measurement (benchmark E28): with the ring layout, a single
+stuck workspace cell corrupts the majority of multiplications — the
+paper's conservative death criterion is well-founded, because load
+balancing moves computation *through* every cell, so there is no such
+thing as a harmlessly-dead workspace bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.synth.program import LaneProgram
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Error statistics of a faulted program on sampled operands.
+
+    Attributes:
+        n_faults: Stuck-at faults injected.
+        samples: Operand samples evaluated.
+        error_rate: Fraction of samples whose output was wrong.
+        mean_relative_error: Mean of ``|wrong - right| / max(right, 1)``
+            over the erroneous samples (0 when none erred).
+    """
+
+    n_faults: int
+    samples: int
+    error_rate: float
+    mean_relative_error: float
+
+
+def measure_fault_accuracy(
+    program: LaneProgram,
+    reference: "callable",
+    n_faults: int = 1,
+    samples: int = 32,
+    rng: "np.random.Generator | int | None" = None,
+    output: Optional[str] = None,
+    fault_addresses: Optional[Sequence[int]] = None,
+) -> AccuracyReport:
+    """Measure a program's output accuracy with stuck-at faults injected.
+
+    For each sample, random operands are drawn, the program is evaluated
+    with the faulted cells, and the named output is compared against
+    ``reference(**operands)``.
+
+    Args:
+        program: The lane program under test.
+        reference: Callable mapping the program's operand values to the
+            correct output integer (e.g. ``lambda a, b: a * b``).
+        n_faults: Stuck-at cells to inject (uniformly random addresses and
+            stuck values, redrawn per sample to average over positions).
+        samples: Operand samples.
+        rng: Seed or generator.
+        output: Output name (defaults to the program's only output).
+        fault_addresses: Restrict fault positions to these addresses
+            (e.g. only workspace cells); default is the whole footprint.
+    """
+    if n_faults < 0:
+        raise ValueError("n_faults must be non-negative")
+    if samples < 1:
+        raise ValueError("samples must be positive")
+    if output is None:
+        if len(program.outputs) != 1:
+            raise ValueError(
+                "program has multiple outputs; pass `output` explicitly"
+            )
+        output = next(iter(program.outputs))
+    generator = np.random.default_rng(rng)
+    positions = (
+        np.asarray(fault_addresses, dtype=np.int64)
+        if fault_addresses is not None
+        else np.arange(program.footprint, dtype=np.int64)
+    )
+    if n_faults > positions.size:
+        raise ValueError("more faults than candidate addresses")
+
+    widths = {name: len(addrs) for name, addrs in program.inputs.items()}
+    errors = 0
+    relative_errors = []
+    for _ in range(samples):
+        operands = {
+            name: int(generator.integers(0, 2**width))
+            for name, width in widths.items()
+        }
+        expected = reference(**operands)
+        stuck: Dict[int, int] = {}
+        if n_faults:
+            chosen = generator.choice(positions, size=n_faults, replace=False)
+            for address in chosen:
+                stuck[int(address)] = int(generator.integers(0, 2))
+        outputs, _ = program.evaluate(operands, stuck=stuck)
+        actual = outputs[output]
+        if actual != expected:
+            errors += 1
+            relative_errors.append(
+                abs(actual - expected) / max(expected, 1)
+            )
+    return AccuracyReport(
+        n_faults=n_faults,
+        samples=samples,
+        error_rate=errors / samples,
+        mean_relative_error=(
+            float(np.mean(relative_errors)) if relative_errors else 0.0
+        ),
+    )

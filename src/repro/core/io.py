@@ -1,0 +1,164 @@
+"""Persistence for simulation results.
+
+Long-horizon sweeps are worth caching: this module saves a
+:class:`~repro.core.simulator.SimulationResult`'s counters and metadata to
+a single ``.npz`` file and restores them into a summary object that
+supports every downstream analysis (distributions, lifetimes, failure
+timelines) without re-simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.array.architecture import PIMArchitecture, default_architecture
+from repro.array.geometry import Orientation
+from repro.array.state import ArrayState
+from repro.balance.config import BalanceConfig
+from repro.core.simulator import SimulationResult
+from repro.core.writedist import WriteDistribution
+
+_FORMAT_VERSION = 1
+
+
+def save_result(result: SimulationResult, path: str) -> None:
+    """Save a simulation result's counters and metadata to ``path``.
+
+    The workload mapping itself (programs, schedule) is not serialized;
+    the per-iteration latency and per-iteration write/read totals it
+    determines are stored instead, which is what every lifetime analysis
+    consumes.
+    """
+    metadata = {
+        "format_version": _FORMAT_VERSION,
+        "workload_name": result.workload_name,
+        "config_label": result.config.label,
+        "recompile_interval": result.config.recompile_interval,
+        "iterations": result.iterations,
+        "epochs": result.epochs,
+        "rows": result.architecture.geometry.rows,
+        "cols": result.architecture.geometry.cols,
+        "orientation": result.architecture.orientation.value,
+        "technology": result.architecture.technology.name,
+        "architecture": result.architecture.name,
+        "iteration_latency_s": result.iteration_latency_s,
+        "lane_utilization": result.mapping.lane_utilization,
+    }
+    np.savez_compressed(
+        path,
+        write_counts=result.state.write_counts,
+        read_counts=result.state.read_counts,
+        metadata=json.dumps(metadata),
+    )
+
+
+@dataclass
+class LoadedResult:
+    """A restored simulation result (counters plus summary metadata).
+
+    Mirrors the :class:`SimulationResult` surface that analyses consume:
+    ``state``, ``iterations``, ``architecture``, ``config``,
+    ``iteration_latency_s``, ``max_writes_per_iteration`` and the
+    distribution properties.
+    """
+
+    workload_name: str
+    config: BalanceConfig
+    architecture: PIMArchitecture
+    iterations: int
+    epochs: int
+    state: ArrayState
+    iteration_latency_s: float
+    lane_utilization: float
+
+    @property
+    def max_writes_per_iteration(self) -> float:
+        """Hottest cell's write rate (Eq. 4 denominator)."""
+        return self.state.max_writes / self.iterations
+
+    @property
+    def write_distribution(self) -> WriteDistribution:
+        """The restored write distribution."""
+        return WriteDistribution(
+            self.state.write_counts,
+            self.iterations,
+            self.architecture.orientation,
+            label=f"{self.workload_name} {self.config.label}",
+        )
+
+    @property
+    def read_distribution(self) -> WriteDistribution:
+        """The restored read distribution."""
+        return WriteDistribution(
+            self.state.read_counts,
+            self.iterations,
+            self.architecture.orientation,
+            label=f"{self.workload_name} {self.config.label} (reads)",
+        )
+
+
+def load_result(path: str) -> LoadedResult:
+    """Restore a result saved with :func:`save_result`.
+
+    Raises:
+        ValueError: if the file was written by an incompatible version.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = json.loads(str(archive["metadata"]))
+        write_counts = archive["write_counts"]
+        read_counts = archive["read_counts"]
+    version = metadata.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    from repro.devices.technology import technology_by_name
+
+    architecture = default_architecture(
+        metadata["rows"], metadata["cols"]
+    ).with_technology(technology_by_name(metadata["technology"]))
+    if metadata["orientation"] != architecture.orientation.value:
+        from dataclasses import replace
+
+        architecture = replace(
+            architecture,
+            orientation=Orientation(metadata["orientation"]),
+        )
+    state = ArrayState(architecture.geometry)
+    state.write_counts[:] = write_counts
+    state.read_counts[:] = read_counts
+    return LoadedResult(
+        workload_name=metadata["workload_name"],
+        config=BalanceConfig.from_label(
+            metadata["config_label"],
+            recompile_interval=metadata["recompile_interval"],
+        ),
+        architecture=architecture,
+        iterations=metadata["iterations"],
+        epochs=metadata["epochs"],
+        state=state,
+        iteration_latency_s=metadata["iteration_latency_s"],
+        lane_utilization=metadata["lane_utilization"],
+    )
+
+
+def save_distributions_csv(
+    distributions: List[WriteDistribution], directory: str
+) -> List[str]:
+    """Write one CSV per distribution into ``directory``; returns paths."""
+    import os
+    import re
+
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for dist in distributions:
+        slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", dist.label or "dist")
+        path = os.path.join(directory, f"{slug}.csv")
+        dist.to_csv(path)
+        paths.append(path)
+    return paths

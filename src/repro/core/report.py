@@ -1,0 +1,279 @@
+"""Plain-text renderings of the paper's tables and figures.
+
+Every artifact in the evaluation has a ``format_*`` function here; the
+benchmark harness and the CLI print these, and EXPERIMENTS.md records
+their output against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.balance.access_aware import table2_rows
+from repro.core.sweep import GridEntry
+from repro.core.writedist import WriteDistribution
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [
+        [_format_cell(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Table 2
+# ----------------------------------------------------------------------
+
+
+def format_table2(precisions: Sequence[int] = (4, 8, 16, 32, 64)) -> str:
+    """The paper's Table 2: access-aware shuffle overhead by precision."""
+    rows = [
+        (bits, f"{mult:.2f}", f"{add:.2f}")
+        for bits, mult, add in table2_rows(precisions)
+    ]
+    return format_table(
+        ["Bit Precision", "Multiplication (DADDA) Overhead (%)",
+         "Addition (Ripple Carry) Overhead (%)"],
+        rows,
+        title="Table 2: extra COPY gates for memory-access-aware shuffling",
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 17 / Table 3
+# ----------------------------------------------------------------------
+
+
+def format_fig17(entries: Sequence[GridEntry], workload_name: str) -> str:
+    """Fig. 17: lifetime improvement per balance configuration."""
+    peak = max(entry.improvement for entry in entries)
+    rows = []
+    for entry in entries:
+        bar = "#" * max(1, int(round(entry.improvement / peak * 40)))
+        rows.append(
+            (entry.label, f"{entry.improvement:.3f}x", bar)
+        )
+    return format_table(
+        ["Config", "Lifetime improvement", ""],
+        rows,
+        title=f"Fig. 17 ({workload_name}): lifetime vs St x St",
+    )
+
+
+def format_table3(
+    summaries: Sequence[Tuple[str, float, float]],
+) -> str:
+    """Table 3 rows: (benchmark, avg lane utilization, best improvement)."""
+    rows = [
+        (name, f"{utilization:.2%}", f"{improvement:.2f}x")
+        for name, utilization, improvement in summaries
+    ]
+    return format_table(
+        ["Benchmark", "Avg Lane Utilization", "Lifetime Improvement"],
+        rows,
+        title="Table 3: lifetime improvement under continuous operation",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 5 / 11 / 14-16
+# ----------------------------------------------------------------------
+
+
+def format_fig5(
+    write_profile: np.ndarray,
+    read_profile: np.ndarray,
+    used_bits: int,
+    bars: int = 24,
+) -> str:
+    """Fig. 5: per-cell read/write counts within a lane (one iteration).
+
+    Profiles are truncated to the program footprint and bucketed for
+    display; the punchline is the workspace-versus-input imbalance.
+    """
+    writes = np.asarray(write_profile[:used_bits], dtype=float)
+    reads = np.asarray(read_profile[:used_bits], dtype=float)
+    bucket = max(1, used_bits // bars)
+    rows = []
+    for start in range(0, used_bits, bucket):
+        sl = slice(start, min(start + bucket, used_bits))
+        rows.append(
+            (
+                f"bits {sl.start}-{sl.stop - 1}",
+                f"{writes[sl].mean():.2f}",
+                f"{reads[sl].mean():.2f}",
+                "#" * int(round(writes[sl].mean())),
+            )
+        )
+    return format_table(
+        ["Lane cells", "Writes/cell", "Reads/cell", ""],
+        rows,
+        title=(
+            "Fig. 5: per-cell writes/reads in one lane for one "
+            "multiplication (workspace cells dominate)"
+        ),
+    )
+
+
+def format_fig11b(
+    failed_fractions: Sequence[float],
+    usable_fractions: Sequence[float],
+    analytic: Sequence[float],
+) -> str:
+    """Fig. 11b: usable lane bits versus failed cells in the array."""
+    rows = [
+        (f"{p:.4%}", f"{u:.2%}", f"{a:.2%}")
+        for p, u, a in zip(failed_fractions, usable_fractions, analytic)
+    ]
+    return format_table(
+        ["Cells failed", "Lane bits usable (MC)", "Analytic (1-p)^lanes"],
+        rows,
+        title="Fig. 11b: usable bits per lane vs failed cells",
+    )
+
+
+def format_heatmap_grid(
+    distributions: Sequence[WriteDistribution],
+    blocks: Tuple[int, int] = (16, 48),
+) -> str:
+    """Figs. 14-16: one ASCII heatmap per balance configuration."""
+    sections = [dist.ascii_heatmap(blocks) for dist in distributions]
+    return "\n\n".join(sections)
+
+
+def format_heatmap_stats(distributions: Sequence[WriteDistribution]) -> str:
+    """Compact statistics table over a set of write distributions."""
+    rows = [
+        (
+            dist.label,
+            f"{dist.max_per_iteration:.3f}",
+            f"{dist.balance:.3f}",
+            f"{dist.gini:.3f}",
+            f"{dist.cell_utilization:.1%}",
+        )
+        for dist in distributions
+    ]
+    return format_table(
+        ["Config", "Max writes/iter", "Balance", "Gini", "Cells used"],
+        rows,
+        title="Write-distribution statistics (1.0 balance = perfectly level)",
+    )
+
+
+def format_remap_frequency(improvements: Dict[int, float]) -> str:
+    """Section 5's recompile-interval sweep."""
+    rows = [
+        (interval, f"{improvements[interval]:.4f}x")
+        for interval in sorted(improvements, reverse=True)
+    ]
+    return format_table(
+        ["Recompile every N iterations", "Lifetime improvement"],
+        rows,
+        title="Recompile-frequency sweep (saturates near every 50 iterations)",
+    )
+
+
+def format_full_report(result, technologies=None) -> str:
+    """A one-call, multi-section report for a simulation result.
+
+    Sections: run header, write-distribution statistics, ASCII heatmap,
+    Eq. 4 lifetime, and (optionally) a technology sweep. Accepts a
+    :class:`~repro.core.simulator.SimulationResult` or a loaded result
+    from :mod:`repro.core.io`.
+
+    Args:
+        result: The simulation (or loaded) result.
+        technologies: Optional list of
+            :class:`~repro.devices.technology.Technology` to sweep.
+    """
+    from repro.core.lifetime import lifetime_from_result
+    from repro.core.sweep import technology_sweep
+
+    dist = result.write_distribution
+    estimate = lifetime_from_result(result)
+    geometry = result.architecture.geometry
+    sections = [
+        f"=== {result.workload_name} under {result.config.label} ===",
+        (
+            f"array {geometry.rows}x{geometry.cols} "
+            f"({result.architecture.name}, "
+            f"{result.architecture.technology.name}); "
+            f"{result.iterations} iterations, {result.epochs} epoch(s)"
+        ),
+        "",
+        dist.summary(),
+        "",
+        dist.ascii_heatmap(blocks=_heatmap_blocks(geometry)),
+        "",
+        (
+            f"Eq. 4 lifetime: {estimate.iterations_to_failure:.3e} "
+            f"iterations = {estimate.days_to_failure:.2f} days "
+            f"({estimate.years_to_failure:.3f} years) at "
+            f"{estimate.max_writes_per_iteration:.2f} peak writes/iteration"
+        ),
+    ]
+    if technologies:
+        sections.append("")
+        sections.append(
+            format_lifetimes(technology_sweep(result, technologies))
+        )
+    return "\n".join(sections)
+
+
+def _heatmap_blocks(geometry) -> Tuple[int, int]:
+    """Largest renderable block grid dividing the geometry, up to 16x64."""
+
+    def best(dimension: int, cap: int) -> int:
+        for candidate in range(min(cap, dimension), 0, -1):
+            if dimension % candidate == 0:
+                return candidate
+        return 1
+
+    return best(geometry.rows, 16), best(geometry.cols, 64)
+
+
+def format_lifetimes(
+    estimates: Dict[str, "object"],
+) -> str:
+    """Technology-sweep lifetimes (Section 3.1 contrast)."""
+    rows = []
+    for name, est in estimates.items():
+        rows.append(
+            (
+                name,
+                f"{est.endurance_writes:.1e}",
+                f"{est.iterations_to_failure:.3e}",
+                f"{est.days_to_failure:.4g}",
+            )
+        )
+    return format_table(
+        ["Technology", "Endurance", "Iterations to failure", "Days"],
+        rows,
+        title="Lifetime by memory technology",
+    )

@@ -1,0 +1,262 @@
+"""The endurance simulator: workload x balance config x iterations -> wear.
+
+Reproduces the paper's methodology (Section 4): "Due to temporally
+fine-grained hardware based re-mapping, each repetition (iteration) of a
+benchmark can have a different write distribution. Hence, it is necessary
+to fully simulate a large number of iterations. We simulate each benchmark
+100,000 times to obtain an estimate of the overall write distribution over
+time."
+
+The simulation is exact, not sampled: between software recompiles the
+logical wear profile is constant, so an epoch's contribution is an outer
+product (``repro.array.executor.accumulate_assignment``); hardware
+re-mapping within an epoch is resolved in closed form by the permutation-
+cycle algebra (``repro.balance.hardware``). Both paths are property-tested
+against naive instruction-by-instruction replay.
+
+Epoch semantics: software strategies re-map at recompile boundaries (every
+``recompile_interval`` iterations); recompilation reinstalls the full
+logical-to-physical mapping, so hardware re-mapping state restarts from
+the new software mapping. Configurations without any software re-mapping
+(``St x St``) never recompile and run as one continuous epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.array.architecture import PIMArchitecture
+from repro.array.executor import accumulate_assignment
+from repro.array.state import ArrayState
+from repro.balance.config import BalanceConfig
+from repro.balance.hardware import HardwareRemapper
+from repro.balance.software import (
+    StrategyKind,
+    make_permutation,
+    wear_aware_permutation,
+)
+from repro.core.writedist import WriteDistribution
+from repro.workloads.base import Workload, WorkloadMapping
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced.
+
+    Attributes:
+        workload_name: Benchmark label.
+        config: The balance configuration simulated.
+        architecture: Target architecture.
+        iterations: Iterations simulated.
+        state: Accumulated per-cell counters.
+        mapping: The workload mapping (schedule, utilization, programs).
+    """
+
+    workload_name: str
+    config: BalanceConfig
+    architecture: PIMArchitecture
+    iterations: int
+    state: ArrayState
+    mapping: WorkloadMapping
+    epochs: int = field(default=1)
+
+    @property
+    def write_distribution(self) -> WriteDistribution:
+        """The accumulated write distribution."""
+        return WriteDistribution(
+            self.state.write_counts,
+            self.iterations,
+            self.architecture.orientation,
+            label=f"{self.workload_name} {self.config.label}",
+        )
+
+    @property
+    def read_distribution(self) -> WriteDistribution:
+        """The accumulated read distribution (same machinery)."""
+        return WriteDistribution(
+            self.state.read_counts,
+            self.iterations,
+            self.architecture.orientation,
+            label=f"{self.workload_name} {self.config.label} (reads)",
+        )
+
+    @property
+    def max_writes_per_iteration(self) -> float:
+        """Hottest cell's write rate — the paper's Eq. 4 denominator."""
+        return self.state.max_writes / self.iterations
+
+    @property
+    def iteration_latency_s(self) -> float:
+        """One iteration's latency (3 ns per sequential op, Section 4)."""
+        return self.mapping.iteration_latency_s
+
+
+class EnduranceSimulator:
+    """Drives workloads through balance configurations on one architecture.
+
+    Args:
+        architecture: The PIM array design under test.
+        seed: Base RNG seed; random-shuffling strategies derive their
+            per-run streams from it, so runs are reproducible.
+    """
+
+    def __init__(self, architecture: PIMArchitecture, seed: int = 0) -> None:
+        self.architecture = architecture
+        self.seed = seed
+        self._mapping_cache: Dict[str, WorkloadMapping] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        workload: Workload,
+        config: BalanceConfig,
+        iterations: int = 100_000,
+        track_reads: bool = True,
+    ) -> SimulationResult:
+        """Simulate ``iterations`` repetitions under ``config``.
+
+        Args:
+            workload: The benchmark kernel.
+            config: Load-balancing configuration.
+            iterations: Repetitions ("as soon as it computes the final
+                results a new set of inputs is loaded and the process
+                repeats", Section 4).
+            track_reads: Also accumulate the read distribution (disable to
+                halve the accumulation cost of large sweeps).
+        """
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if config.within is StrategyKind.WEAR_AWARE:
+            raise ValueError(
+                "wear-aware mapping applies between lanes only (within-lane "
+                "roles are identical across a lane, so there is no load "
+                "signal to sort by)"
+            )
+        mapping = self._mapping_for(workload)
+        architecture = self.architecture
+        state = ArrayState(architecture.geometry)
+        rng = np.random.default_rng(self.seed)
+
+        lane_size = architecture.lane_size
+        lane_count = architecture.lane_count
+        orientation = architecture.orientation
+
+        remappers: Dict[int, HardwareRemapper] = {}
+        groups = self._groups(mapping)
+        if config.hardware:
+            for key, (program, _) in groups.items():
+                remappers[key] = HardwareRemapper(
+                    program, lane_size, architecture.presets_output
+                )
+
+        lane_loads = self._lane_loads(mapping)
+        epochs = 0
+        for epoch, length in self._epochs(config, iterations):
+            epochs += 1
+            within = make_permutation(config.within, lane_size, epoch, rng)
+            if config.between is StrategyKind.WEAR_AWARE:
+                wear = state.lane_view(state.write_counts, orientation).sum(
+                    axis=0
+                )
+                between = wear_aware_permutation(lane_loads, wear)
+            else:
+                between = make_permutation(
+                    config.between, lane_count, epoch, rng
+                )
+            if config.hardware:
+                self._accumulate_hardware_epoch(
+                    state,
+                    groups,
+                    remappers,
+                    within,
+                    between,
+                    length,
+                    track_reads,
+                )
+            else:
+                accumulate_assignment(
+                    architecture,
+                    mapping.assignment,
+                    state,
+                    within_map=within,
+                    between_map=between,
+                    repetitions=float(length),
+                    track_reads=track_reads,
+                )
+
+        return SimulationResult(
+            workload_name=mapping.workload_name,
+            config=config,
+            architecture=architecture,
+            iterations=iterations,
+            state=state,
+            mapping=mapping,
+            epochs=epochs,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _mapping_for(self, workload: Workload) -> WorkloadMapping:
+        key = workload.name
+        cached = self._mapping_cache.get(key)
+        if cached is None or cached.architecture is not self.architecture:
+            cached = workload.build(self.architecture)
+            self._mapping_cache[key] = cached
+        return cached
+
+    def _lane_loads(self, mapping: WorkloadMapping) -> np.ndarray:
+        """Per-logical-lane writes per iteration (the Wa sorting signal)."""
+        lane_count = self.architecture.lane_count
+        include = self.architecture.presets_output
+        loads = np.zeros(lane_count)
+        for lane, program in mapping.assignment.items():
+            loads[lane] = program.write_counts(include_presets=include).sum()
+        return loads
+
+    @staticmethod
+    def _groups(mapping: WorkloadMapping) -> Dict[int, Tuple[object, List[int]]]:
+        """Lanes grouped by canonical program object."""
+        groups: Dict[int, Tuple[object, List[int]]] = {}
+        for lane, program in mapping.assignment.items():
+            entry = groups.setdefault(id(program), (program, []))
+            entry[1].append(lane)
+        return groups
+
+    @staticmethod
+    def _epochs(config: BalanceConfig, iterations: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(epoch_index, epoch_length)`` pairs covering the run."""
+        if not config.needs_recompilation:
+            yield 0, iterations
+            return
+        interval = config.recompile_interval
+        full, remainder = divmod(iterations, interval)
+        for epoch in range(full):
+            yield epoch, interval
+        if remainder:
+            yield full, remainder
+
+    def _accumulate_hardware_epoch(
+        self,
+        state: ArrayState,
+        groups: Dict[int, Tuple[object, List[int]]],
+        remappers: Dict[int, HardwareRemapper],
+        within: np.ndarray,
+        between: np.ndarray,
+        length: int,
+        track_reads: bool,
+    ) -> None:
+        orientation = self.architecture.orientation
+        lane_count = self.architecture.lane_count
+        for key, (program, lanes) in groups.items():
+            writes, reads = remappers[key].profile(length, within)
+            lane_weights = np.zeros(lane_count)
+            np.add.at(lane_weights, between[np.asarray(lanes)], 1.0)
+            state.add_lane_profile(writes, lane_weights, orientation, "write")
+            if track_reads:
+                state.add_lane_profile(reads, lane_weights, orientation, "read")

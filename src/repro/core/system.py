@@ -1,0 +1,141 @@
+"""System-level lifetime: duty cycles and array farms.
+
+The paper's conclusion distinguishes deployment contexts: "architectures
+for low-power, embedded applications ... typically have lower duty-cycles
+(performing computations relatively infrequently) which result in longer
+lifetimes", while for servers "the accelerator must be replaced once a
+sufficient number of PIM arrays fail" (Section 4). This module scales the
+single-array Eq. 4 estimate to both contexts:
+
+* :func:`lifetime_at_duty_cycle` — wall-clock lifetime of an array that
+  computes only a fraction of the time;
+* :class:`ArrayFarm` — a population of arrays whose individual lifetimes
+  vary (array-to-array endurance spread); exposes the replacement horizon
+  "time until a fraction of arrays has failed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.lifetime import LifetimeEstimate
+
+_SECONDS_PER_DAY = 86_400.0
+
+
+def lifetime_at_duty_cycle(
+    estimate: LifetimeEstimate, duty_cycle: float
+) -> LifetimeEstimate:
+    """Stretch a full-utilization lifetime to a duty-cycled deployment.
+
+    An embedded accelerator active ``duty_cycle`` of the time consumes
+    endurance that much more slowly: the iteration budget is unchanged,
+    the wall-clock horizon divides by the duty cycle. A 31-day
+    full-utilization lifetime becomes ~8.5 years at a 1% duty cycle —
+    the paper's embedded-vs-server contrast, quantified.
+
+    Args:
+        estimate: A full-utilization Eq. 4 estimate.
+        duty_cycle: Fraction of wall-clock time spent computing, in (0, 1].
+    """
+    if not 0 < duty_cycle <= 1:
+        raise ValueError(f"duty_cycle must be in (0, 1], got {duty_cycle}")
+    return LifetimeEstimate(
+        iterations_to_failure=estimate.iterations_to_failure,
+        seconds_to_failure=estimate.seconds_to_failure / duty_cycle,
+        max_writes_per_iteration=estimate.max_writes_per_iteration,
+        endurance_writes=estimate.endurance_writes,
+    )
+
+
+@dataclass(frozen=True)
+class FarmLifetime:
+    """Replacement-horizon summary for a population of arrays.
+
+    Attributes:
+        n_arrays: Population size.
+        first_seconds: When the weakest array fails.
+        median_seconds: When half the population has failed.
+        horizon_seconds: When ``failure_fraction`` of arrays has failed —
+            the accelerator-replacement point.
+        failure_fraction: The replacement threshold used.
+    """
+
+    n_arrays: int
+    first_seconds: float
+    median_seconds: float
+    horizon_seconds: float
+    failure_fraction: float
+
+    @property
+    def horizon_days(self) -> float:
+        """The replacement horizon in days."""
+        return self.horizon_seconds / _SECONDS_PER_DAY
+
+
+class ArrayFarm:
+    """A server-class accelerator built from many PIM arrays.
+
+    Per-array lifetimes are modelled as the single-array estimate scaled
+    by a lognormal array-to-array factor (process variation between dies/
+    subarrays); the farm fails for practical purposes once
+    ``failure_fraction`` of its arrays are dead and the accelerator must
+    be replaced.
+
+    Args:
+        n_arrays: Number of arrays in the accelerator.
+        sigma: Lognormal spread of per-array lifetime (0 = identical).
+        rng: Seed or generator for reproducible draws.
+    """
+
+    def __init__(
+        self,
+        n_arrays: int,
+        sigma: float = 0.2,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> None:
+        if n_arrays < 1:
+            raise ValueError("n_arrays must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.n_arrays = n_arrays
+        self.sigma = sigma
+        self._rng = np.random.default_rng(rng)
+
+    def sample_lifetimes(self, estimate: LifetimeEstimate) -> np.ndarray:
+        """Per-array failure times (seconds), sorted ascending."""
+        factors = np.exp(
+            self._rng.normal(0.0, self.sigma, size=self.n_arrays)
+        )
+        return np.sort(estimate.seconds_to_failure * factors)
+
+    def replacement_horizon(
+        self,
+        estimate: LifetimeEstimate,
+        failure_fraction: float = 0.1,
+        duty_cycle: float = 1.0,
+    ) -> FarmLifetime:
+        """When does the accelerator need replacing?
+
+        Args:
+            estimate: The single-array Eq. 4 estimate for the workload.
+            failure_fraction: Fraction of dead arrays that makes the
+                accelerator unusable (e.g. 10%).
+            duty_cycle: Farm-wide duty cycle (1.0 = always computing).
+        """
+        if not 0 < failure_fraction <= 1:
+            raise ValueError(
+                f"failure_fraction must be in (0, 1], got {failure_fraction}"
+            )
+        scaled = lifetime_at_duty_cycle(estimate, duty_cycle)
+        lifetimes = self.sample_lifetimes(scaled)
+        k = max(1, int(np.ceil(failure_fraction * self.n_arrays)))
+        return FarmLifetime(
+            n_arrays=self.n_arrays,
+            first_seconds=float(lifetimes[0]),
+            median_seconds=float(np.median(lifetimes)),
+            horizon_seconds=float(lifetimes[k - 1]),
+            failure_fraction=failure_fraction,
+        )

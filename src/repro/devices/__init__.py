@@ -1,0 +1,42 @@
+"""Nonvolatile memory device models.
+
+This subpackage models the three representative resistive NVM technologies
+the paper considers (Section 2.1): MRAM (magnetic tunnel junctions), RRAM
+(metal-insulator-metal filamentary cells), and PCM (phase-change memory).
+Each technology is described by a :class:`~repro.devices.technology.Technology`
+record carrying write endurance, per-operation latency, and per-operation
+energy. Endurance itself can be modelled as uniform across cells (the paper's
+pessimistic assumption) or as a lognormal per-cell distribution
+(:mod:`repro.devices.endurance`).
+"""
+
+from repro.devices.technology import (
+    MRAM,
+    PCM,
+    RRAM,
+    RRAM_OPTIMISTIC,
+    TECHNOLOGIES,
+    Technology,
+    technology_by_name,
+)
+from repro.devices.endurance import (
+    EnduranceModel,
+    LognormalEndurance,
+    UniformEndurance,
+)
+from repro.devices.energy import EnergyModel, OperationCosts
+
+__all__ = [
+    "Technology",
+    "MRAM",
+    "RRAM",
+    "RRAM_OPTIMISTIC",
+    "PCM",
+    "TECHNOLOGIES",
+    "technology_by_name",
+    "EnduranceModel",
+    "UniformEndurance",
+    "LognormalEndurance",
+    "EnergyModel",
+    "OperationCosts",
+]

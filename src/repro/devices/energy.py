@@ -1,0 +1,89 @@
+"""Latency and energy accounting for PIM operation streams.
+
+The paper computes application latency by "summing the latency of all
+operations (read, write, and logic), assuming 3ns per operation"
+(Section 4). :class:`EnergyModel` applies the same uniform-latency rule and
+adds per-operation energy on top, so benchmarks can also report the energy
+picture that motivates NVPIM in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.technology import Technology
+
+
+@dataclass(frozen=True)
+class OperationCosts:
+    """Aggregate latency/energy of a stream of PIM operations.
+
+    Attributes:
+        sequential_ops: Number of *sequential* operation slots (parallel
+            gates across lanes occupy one slot; this is what latency scales
+            with).
+        cell_reads: Total single-cell read events across the array.
+        cell_writes: Total single-cell write events across the array.
+        latency_s: Wall-clock time of the stream.
+        energy_fj: Total energy, femtojoules.
+    """
+
+    sequential_ops: int
+    cell_reads: int
+    cell_writes: int
+    latency_s: float
+    energy_fj: float
+
+    def __add__(self, other: "OperationCosts") -> "OperationCosts":
+        return OperationCosts(
+            sequential_ops=self.sequential_ops + other.sequential_ops,
+            cell_reads=self.cell_reads + other.cell_reads,
+            cell_writes=self.cell_writes + other.cell_writes,
+            latency_s=self.latency_s + other.latency_s,
+            energy_fj=self.energy_fj + other.energy_fj,
+        )
+
+    def scaled(self, repetitions: float) -> "OperationCosts":
+        """Costs of repeating the stream ``repetitions`` times."""
+        if repetitions < 0:
+            raise ValueError("repetitions must be non-negative")
+        return OperationCosts(
+            sequential_ops=int(round(self.sequential_ops * repetitions)),
+            cell_reads=int(round(self.cell_reads * repetitions)),
+            cell_writes=int(round(self.cell_writes * repetitions)),
+            latency_s=self.latency_s * repetitions,
+            energy_fj=self.energy_fj * repetitions,
+        )
+
+
+class EnergyModel:
+    """Computes :class:`OperationCosts` for a given technology.
+
+    A logic gate reads its input cell(s) and writes its output cell, so its
+    energy is modelled as the corresponding reads plus one write. Latency is
+    uniform per sequential operation (paper Section 4).
+    """
+
+    def __init__(self, technology: Technology) -> None:
+        self.technology = technology
+
+    def costs(
+        self,
+        sequential_ops: int,
+        cell_reads: int,
+        cell_writes: int,
+    ) -> OperationCosts:
+        """Build the cost record for raw operation counts."""
+        if min(sequential_ops, cell_reads, cell_writes) < 0:
+            raise ValueError("operation counts must be non-negative")
+        tech = self.technology
+        return OperationCosts(
+            sequential_ops=sequential_ops,
+            cell_reads=cell_reads,
+            cell_writes=cell_writes,
+            latency_s=sequential_ops * tech.op_latency_s,
+            energy_fj=(
+                cell_reads * tech.read_energy_fj
+                + cell_writes * tech.write_energy_fj
+            ),
+        )

@@ -1,0 +1,140 @@
+"""NVM technology presets.
+
+The paper characterizes endurance against representative nonvolatile
+technologies (Section 2.1):
+
+* **MRAM / MTJ** — up to ``1e12`` write cycles before permanent failure
+  [Miura 2020; Shiokawa 2019]. The paper's headline lifetime analysis
+  (Equations 1, 2 and 4) assumes this endurance.
+* **RRAM** — roughly ``1e8``–``1e9`` writes [Kent 2015; Swaidan 2019;
+  Zhao 2018]. The paper notes that with ``1e8`` endurance a fully-utilized
+  PIM array fails in "just over 5 minutes".
+* **PCM** — roughly ``1e6``–``1e9`` writes [Kent 2015; Kim 2019].
+
+Per-operation latency is 3 ns for reads, writes and logic gates alike
+[Resch 2020; Saida 2016], which the paper applies uniformly in Equation 2
+and in the lifetime model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+#: Per-operation latency assumed throughout the paper's evaluation (3 ns).
+DEFAULT_OP_LATENCY_S = 3e-9
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A nonvolatile memory technology operating point.
+
+    Parameters mirror the quantities the paper's analysis consumes: the
+    write endurance bound used in the lifetime equations, the uniform
+    per-operation latency, and representative per-operation energies (used
+    by the optional energy accounting; the paper's conclusions rest on
+    endurance and latency only).
+
+    Attributes:
+        name: Human-readable technology name (``"MRAM"``, ``"RRAM"``, ...).
+        endurance_writes: Number of write cycles a cell survives before
+            permanent failure.
+        endurance_range: Published (low, high) endurance range for the
+            technology; ``endurance_writes`` lies inside it.
+        op_latency_s: Latency of one read, write, or in-memory gate.
+        read_energy_fj: Energy of a single-cell read, femtojoules.
+        write_energy_fj: Energy of a single-cell write, femtojoules.
+        notes: Free-form provenance note (citation anchors).
+    """
+
+    name: str
+    endurance_writes: float
+    endurance_range: Tuple[float, float]
+    op_latency_s: float = DEFAULT_OP_LATENCY_S
+    read_energy_fj: float = 1.0
+    write_energy_fj: float = 100.0
+    notes: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.endurance_writes <= 0:
+            raise ValueError("endurance_writes must be positive")
+        low, high = self.endurance_range
+        if not (low <= self.endurance_writes <= high):
+            raise ValueError(
+                f"endurance_writes {self.endurance_writes:g} outside the "
+                f"published range [{low:g}, {high:g}] for {self.name}"
+            )
+        if self.op_latency_s <= 0:
+            raise ValueError("op_latency_s must be positive")
+
+    def with_endurance(self, endurance_writes: float) -> "Technology":
+        """Return a copy at a different endurance operating point.
+
+        The new endurance must stay inside the technology's published range;
+        use this to explore e.g. the RRAM ``1e8`` vs ``1e9`` endpoints.
+        """
+        return replace(self, endurance_writes=endurance_writes)
+
+
+#: MTJ-based magnetic RAM. The paper's default technology for all lifetime
+#: estimates: "we base our analysis on MTJs ... and assume an endurance of
+#: 1e12 writes" (Section 4).
+MRAM = Technology(
+    name="MRAM",
+    endurance_writes=1e12,
+    endurance_range=(1e10, 1e15),
+    read_energy_fj=2.0,
+    write_energy_fj=100.0,
+    notes="MTJ; endurance up to 1e12 [Miura 2020, Shiokawa 2019]",
+)
+
+#: Filamentary resistive RAM at the pessimistic (current) endurance endpoint,
+#: used by the paper's "just over 5 minutes" failure-time example.
+RRAM = Technology(
+    name="RRAM",
+    endurance_writes=1e8,
+    endurance_range=(1e6, 1e9),
+    read_energy_fj=1.0,
+    write_energy_fj=300.0,
+    notes="1e8-1e9 writes [Kent 2015, Swaidan 2019, Zhao 2018]",
+)
+
+#: Resistive RAM at the optimistic end of its published endurance range,
+#: under its own name so sweeps can report both endpoints side by side.
+RRAM_OPTIMISTIC = Technology(
+    name="RRAM_OPTIMISTIC",
+    endurance_writes=1e9,
+    endurance_range=RRAM.endurance_range,
+    read_energy_fj=RRAM.read_energy_fj,
+    write_energy_fj=RRAM.write_energy_fj,
+    notes="RRAM at the 1e9 endpoint of its published range",
+)
+
+#: Phase-change memory, mid-range endurance.
+PCM = Technology(
+    name="PCM",
+    endurance_writes=1e7,
+    endurance_range=(1e6, 1e9),
+    read_energy_fj=2.0,
+    write_energy_fj=500.0,
+    notes="1e6-1e9 writes [Kent 2015, Kim 2019]",
+)
+
+#: Registry of the built-in presets, keyed by upper-case name.
+TECHNOLOGIES: Dict[str, Technology] = {
+    t.name: t for t in (MRAM, RRAM, RRAM_OPTIMISTIC, PCM)
+}
+
+
+def technology_by_name(name: str) -> Technology:
+    """Look up a built-in technology preset, case-insensitively.
+
+    Raises:
+        KeyError: if ``name`` does not match a known preset.
+    """
+    key = name.strip().upper()
+    try:
+        return TECHNOLOGIES[key]
+    except KeyError:
+        known = ", ".join(sorted(TECHNOLOGIES))
+        raise KeyError(f"unknown technology {name!r}; known: {known}") from None

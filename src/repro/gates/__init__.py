@@ -1,0 +1,46 @@
+"""Bit-level logic gate abstractions for digital PIM.
+
+The paper's architectures (Table 1: Pinatubo, MAGIC, Felix, CRAM) all share
+one operating principle: a gate reads one or two input memory cells and
+writes one output cell, within a single lane (Section 2.2). This subpackage
+provides:
+
+* :mod:`repro.gates.ops` — the gate opcodes and their boolean semantics;
+* :mod:`repro.gates.gate` — the :class:`~repro.gates.gate.Gate` record, the
+  unit of work executed by the array simulator;
+* :mod:`repro.gates.library` — gate *libraries* (which opcodes an
+  architecture supports and how composite functions decompose), including
+  the two libraries whose accounting the paper uses: NAND-only (endurance
+  analysis, Section 3.1) and minimal two-input (overhead analysis,
+  Section 3.2 / Table 2).
+"""
+
+from repro.gates.ops import (
+    ONE_INPUT_OPS,
+    TWO_INPUT_OPS,
+    GateOp,
+    evaluate_op,
+)
+from repro.gates.gate import Gate
+from repro.gates.library import (
+    MAJ_LIBRARY,
+    MINIMAL_LIBRARY,
+    NAND_LIBRARY,
+    NOR_LIBRARY,
+    GateLibrary,
+    library_by_name,
+)
+
+__all__ = [
+    "GateOp",
+    "evaluate_op",
+    "ONE_INPUT_OPS",
+    "TWO_INPUT_OPS",
+    "Gate",
+    "GateLibrary",
+    "NAND_LIBRARY",
+    "MINIMAL_LIBRARY",
+    "NOR_LIBRARY",
+    "MAJ_LIBRARY",
+    "library_by_name",
+]

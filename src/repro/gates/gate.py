@@ -1,0 +1,72 @@
+"""The Gate record: one in-memory logic operation on logical bits.
+
+A gate reads its input bit(s) and writes its output bit, all within one
+lane. Gates operate on *logical* bit addresses; the array executor and the
+load-balancing strategies decide which physical cells those map to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.gates.ops import GateOp, evaluate_op
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One logic gate over logical bit addresses within a lane.
+
+    Attributes:
+        op: The opcode.
+        inputs: Logical addresses of the input bit(s).
+        output: Logical address of the output bit. Inputs are read once
+            each; the output receives exactly one write.
+    """
+
+    op: GateOp
+    inputs: Tuple[int, ...]
+    output: int
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != self.op.arity:
+            raise ValueError(
+                f"{self.op.name} takes {self.op.arity} inputs, "
+                f"got {len(self.inputs)}"
+            )
+        for address in self.inputs + (self.output,):
+            if address < 0:
+                raise ValueError(f"negative bit address {address}")
+        if self.output in self.inputs:
+            raise ValueError(
+                "output cell must differ from input cells: the surveyed PIM "
+                "architectures write the output after/while reading inputs "
+                f"(gate {self.op.name}, inputs {self.inputs}, "
+                f"output {self.output})"
+            )
+
+    @property
+    def reads(self) -> int:
+        """Cell reads this gate performs (one per input)."""
+        return len(self.inputs)
+
+    @property
+    def writes(self) -> int:
+        """Cell writes this gate performs (always one, to the output)."""
+        return 1
+
+    def evaluate(self, input_values: Tuple[int, ...]) -> int:
+        """Boolean result of the gate for concrete input values."""
+        return evaluate_op(self.op, input_values)
+
+    def remapped(self, mapping) -> "Gate":
+        """Return a copy with every bit address sent through ``mapping``.
+
+        ``mapping`` is any callable from logical address to logical address
+        (used when re-mapping computations for load balancing).
+        """
+        return Gate(
+            op=self.op,
+            inputs=tuple(mapping(a) for a in self.inputs),
+            output=mapping(self.output),
+        )

@@ -1,0 +1,59 @@
+"""Synthesis of arithmetic into in-memory gate programs.
+
+PIM architectures decompose complex operations (addition, multiplication,
+comparison) into sequences of basic logic gates performed within a lane
+(paper Section 2.2). This subpackage builds those sequences as executable
+:class:`~repro.synth.program.LaneProgram` objects:
+
+* :mod:`repro.synth.bits` — logical-bit allocation with a free list,
+  mirroring the paper's simulator semantics ("for each gate in the program,
+  1 new bit of logical memory is allocated for the output; logical bits are
+  freed once they are no longer needed", Section 4);
+* :mod:`repro.synth.program` — the program container and builder;
+* :mod:`repro.synth.adders` — half/full adders and the ripple-carry adder
+  ("optimal for PIM as it uses the fewest gates");
+* :mod:`repro.synth.multiplier` — the carry-save array ("DADDA" in the
+  paper's terminology) multiplier with exactly ``b^2-2b`` full adds, ``b``
+  half adds and ``b^2`` AND gates;
+* :mod:`repro.synth.comparator` — subtractor-based magnitude comparison
+  (the BNN threshold non-linearity);
+* :mod:`repro.synth.analysis` — closed-form gate/read/write counts matching
+  the paper's Section 3.1 arithmetic.
+"""
+
+from repro.synth.bits import BitAllocator, BitVector
+from repro.synth.program import (
+    LaneProgram,
+    LaneProgramBuilder,
+    ReadInstr,
+    WriteInstr,
+)
+from repro.synth.adders import full_adder, half_adder, ripple_carry_add
+from repro.synth.multiplier import multiply
+from repro.synth.comparator import compare_ge
+from repro.synth.analysis import (
+    OperationCounts,
+    adder_counts,
+    conventional_multiplication_counts,
+    multiplier_counts,
+    pim_vs_conventional_write_ratio,
+)
+
+__all__ = [
+    "BitAllocator",
+    "BitVector",
+    "LaneProgram",
+    "LaneProgramBuilder",
+    "WriteInstr",
+    "ReadInstr",
+    "full_adder",
+    "half_adder",
+    "ripple_carry_add",
+    "multiply",
+    "compare_ge",
+    "OperationCounts",
+    "multiplier_counts",
+    "adder_counts",
+    "conventional_multiplication_counts",
+    "pim_vs_conventional_write_ratio",
+]

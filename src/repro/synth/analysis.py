@@ -1,0 +1,160 @@
+"""Closed-form operation counts (the paper's Section 3.1 arithmetic).
+
+Rather than hard-coding per-library costs, the primitive costs are
+*measured* by synthesizing one adder with the target library and counting
+its instructions — so the closed forms here can never drift from the
+executable circuits in :mod:`repro.synth.adders`.
+
+Reference points locked by tests:
+
+* 32-bit multiplication, NAND library: 9,824 gates/writes and 19,616 reads;
+* conventional 32-bit multiplication: 64 cell reads, 64 cell writes
+  (read two 32-bit operands, write the 64-bit product);
+* the resulting >150x PIM write blow-up quoted in the introduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.gates.library import GateLibrary
+from repro.synth.program import LaneProgramBuilder
+
+
+@dataclass(frozen=True)
+class OperationCounts:
+    """Gate/read/write totals for one arithmetic operation.
+
+    ``gates`` equals ``cell_writes`` whenever presets and operand loads are
+    excluded, because every gate writes exactly one output cell.
+    """
+
+    gates: int
+    cell_reads: int
+    cell_writes: int
+
+    def __add__(self, other: "OperationCounts") -> "OperationCounts":
+        return OperationCounts(
+            gates=self.gates + other.gates,
+            cell_reads=self.cell_reads + other.cell_reads,
+            cell_writes=self.cell_writes + other.cell_writes,
+        )
+
+    def __mul__(self, factor: int) -> "OperationCounts":
+        return OperationCounts(
+            gates=self.gates * factor,
+            cell_reads=self.cell_reads * factor,
+            cell_writes=self.cell_writes * factor,
+        )
+
+    __rmul__ = __mul__
+
+    def per_cell(self, cells: int) -> "tuple[float, float]":
+        """Average ``(reads, writes)`` per cell given ``cells`` available.
+
+        Reproduces the paper's per-cell averages: 0.0625 reads and writes
+        per cell for a conventional 32-bit multiply over 1024 cells, versus
+        19.16 reads and 9.59 writes per cell in PIM.
+        """
+        if cells <= 0:
+            raise ValueError("cells must be positive")
+        return self.cell_reads / cells, self.cell_writes / cells
+
+
+@lru_cache(maxsize=None)
+def _probe_costs(library: GateLibrary) -> "dict[str, OperationCounts]":
+    """Measure FA/HA/AND costs by synthesizing them with ``library``."""
+    from repro.synth.adders import full_adder, half_adder
+
+    costs = {}
+
+    def measure(build) -> OperationCounts:
+        builder = LaneProgramBuilder(library)
+        # Inputs are preallocated so only the primitive's own gates count.
+        a, b, c = (
+            builder.allocator.alloc(),
+            builder.allocator.alloc(),
+            builder.allocator.alloc(),
+        )
+        build(builder, a, b, c)
+        program = builder.finish()
+        # Writes = one per gate. Constant-cell seeds (majority fabrics tie
+        # an input to a shared zero) are excluded: they are written once
+        # per *program*, not once per primitive.
+        return OperationCounts(
+            gates=program.gate_count,
+            cell_reads=program.total_reads,
+            cell_writes=program.gate_count,
+        )
+
+    costs["full_adder"] = measure(lambda bld, a, b, c: full_adder(bld, a, b, c))
+    costs["half_adder"] = measure(lambda bld, a, b, c: half_adder(bld, a, b))
+    costs["and"] = measure(lambda bld, a, b, c: bld.and_bit(a, b))
+    return costs
+
+
+def full_adder_counts(library: GateLibrary) -> OperationCounts:
+    """Measured cost of one full adder under ``library``."""
+    return _probe_costs(library)["full_adder"]
+
+
+def half_adder_counts(library: GateLibrary) -> OperationCounts:
+    """Measured cost of one half adder under ``library``."""
+    return _probe_costs(library)["half_adder"]
+
+
+def and_gate_counts(library: GateLibrary) -> OperationCounts:
+    """Measured cost of one two-input AND under ``library``."""
+    return _probe_costs(library)["and"]
+
+
+def multiplier_counts(bits: int, library: GateLibrary) -> OperationCounts:
+    """Counts for a ``bits``-wide in-memory multiplication.
+
+    The DADDA/array census (Section 2.2): ``b^2 - 2b`` full adds, ``b``
+    half adds, ``b^2`` ANDs. Excludes operand loads and presets.
+    """
+    if bits < 2:
+        raise ValueError("bits must be at least 2")
+    return (
+        (bits * bits - 2 * bits) * full_adder_counts(library)
+        + bits * half_adder_counts(library)
+        + bits * bits * and_gate_counts(library)
+    )
+
+
+def adder_counts(bits: int, library: GateLibrary) -> OperationCounts:
+    """Counts for a ``bits``-wide ripple-carry addition.
+
+    ``b - 1`` full adds plus one half add (Section 2.2).
+    """
+    if bits < 2:
+        raise ValueError("bits must be at least 2")
+    return (bits - 1) * full_adder_counts(library) + half_adder_counts(library)
+
+
+def conventional_multiplication_counts(bits: int) -> OperationCounts:
+    """Memory traffic of a multiplication on a conventional architecture.
+
+    "32-bit integer multiplication on a standard architecture entails
+    reading two 32-bit numbers, performing the multiplication using an ALU,
+    and writing the 64-bit product back to memory. In total, this incurs 64
+    cell reads and 64 cell writes." (Section 3.1). The ALU work itself
+    touches no memory cells, hence ``gates == 0``.
+    """
+    if bits < 1:
+        raise ValueError("bits must be positive")
+    return OperationCounts(gates=0, cell_reads=2 * bits, cell_writes=2 * bits)
+
+
+def pim_vs_conventional_write_ratio(bits: int, library: GateLibrary) -> float:
+    """How many times more cell writes PIM needs for one multiplication.
+
+    The introduction's headline: "an in-memory multiplication requires over
+    150x more write operations than it would require in a conventional
+    architecture" (153.5x for 32-bit operands under the NAND library).
+    """
+    pim = multiplier_counts(bits, library).cell_writes
+    conventional = conventional_multiplication_counts(bits).cell_writes
+    return pim / conventional

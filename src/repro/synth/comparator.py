@@ -1,0 +1,53 @@
+"""Magnitude comparison: the BNN threshold non-linearity.
+
+The paper's convolution benchmark uses "a comparison as the non-linear
+operation" (Section 4): for binary neural networks "a simple comparison
+operation can perform a logical threshold operation, producing the single
+bit output" [Resch 2019].
+
+We implement ``A >= B`` as the carry-out of ``A + ~B + 1`` (two's
+complement subtraction): ``width`` NOT gates, one constant-seed write, and
+``width`` full adders whose sum bits are discarded immediately.
+"""
+
+from __future__ import annotations
+
+from repro.synth.adders import full_adder
+from repro.synth.bits import BitVector
+from repro.synth.program import LaneProgramBuilder
+
+
+def compare_ge(
+    builder: LaneProgramBuilder,
+    a: BitVector,
+    b: BitVector,
+    free_inputs: bool = False,
+) -> int:
+    """Compare two unsigned vectors; returns a bit that is 1 iff ``a >= b``.
+
+    Args:
+        builder: Target program builder.
+        a: Left operand (LSB first).
+        b: Right operand, same width.
+        free_inputs: Free the operand bits as they are consumed.
+
+    Raises:
+        ValueError: for mismatched or zero widths.
+    """
+    if a.width != b.width:
+        raise ValueError(
+            f"compare_ge requires equal widths, got {a.width} and {b.width}"
+        )
+    if a.width == 0:
+        raise ValueError("cannot compare zero-width vectors")
+    carry = builder.const_bit(1)
+    for i in range(a.width):
+        nb = builder.not_bit(b[i])
+        if free_inputs:
+            builder.free(b[i])
+        s, carry_next = full_adder(builder, a[i], nb, carry)
+        builder.free_many((s, nb, carry))
+        if free_inputs:
+            builder.free(a[i])
+        carry = carry_next
+    return carry

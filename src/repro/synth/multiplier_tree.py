@@ -1,0 +1,118 @@
+"""A true Dadda *tree* multiplier, for contrast with the array structure.
+
+The paper accounts for "DADDA" multiplication with the carry-save array
+census (``b^2 - 2b`` full adds, ``b`` half adds) and notes that in PIM,
+gate *count* is all that matters because every gate is sequential
+(Section 2.2). A genuine Dadda tree [Townsend 2003] reduces partial
+products column-wise toward the height sequence 2, 3, 4, 6, 9, 13, ... and
+finishes with a carry-propagate row. In CMOS the tree wins on delay; in
+PIM it uses *slightly fewer adders* than the array but needs every partial
+product alive at once — a workspace of ~``b^2`` bits instead of ~``6b``.
+
+This module exists to quantify that trade-off (ablation benchmarks): for
+lanes of bounded height, the paper's array structure is the right choice,
+which is why the reproduction uses it as the default.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.synth.adders import full_adder, half_adder
+from repro.synth.bits import BitVector
+from repro.synth.program import LaneProgramBuilder
+
+
+def dadda_heights(max_height: int) -> List[int]:
+    """The Dadda height sequence up to ``max_height``: 2, 3, 4, 6, 9, ...
+
+    Each stage reduces the tallest column to the next-lower entry; the
+    sequence satisfies ``d_{j+1} = floor(1.5 * d_j)``.
+    """
+    if max_height < 2:
+        raise ValueError("max_height must be at least 2")
+    heights = [2]
+    while heights[-1] < max_height:
+        heights.append((3 * heights[-1]) // 2)
+    return heights
+
+
+def tree_multiply(
+    builder: LaneProgramBuilder, a: BitVector, b: BitVector
+) -> BitVector:
+    """Multiply two unsigned vectors with Dadda column compression.
+
+    All ``width^2`` partial products are generated up front, columns are
+    compressed stage by stage to height 2, and a final carry-propagate
+    pass produces the ``2 * width``-bit product.
+
+    Args:
+        builder: Target program builder (any library with adders).
+        a: Multiplicand (LSB first).
+        b: Multiplier, same width.
+
+    Raises:
+        ValueError: for mismatched widths or widths below 2.
+    """
+    n = a.width
+    if b.width != n:
+        raise ValueError(
+            f"tree_multiply requires equal widths, got {n} and {b.width}"
+        )
+    if n < 2:
+        raise ValueError("tree_multiply requires at least 2-bit operands")
+
+    # Column w holds the live bits of weight w.
+    columns: Dict[int, List[int]] = {w: [] for w in range(2 * n)}
+    for i in range(n):
+        for j in range(n):
+            columns[i + j].append(builder.and_bit(a[j], b[i]))
+
+    stages = dadda_heights(n)  # ... 9, 6, 4, 3, 2 applied in reverse
+    for target in reversed(stages):
+        if max(len(bits) for bits in columns.values()) <= target:
+            continue
+        for w in range(2 * n):
+            # Compress until this column (including carries already pushed
+            # into it by lower columns this stage) fits the target.
+            while len(columns[w]) > target:
+                if len(columns[w]) == target + 1:
+                    x = columns[w].pop(0)
+                    y = columns[w].pop(0)
+                    s, c = half_adder(builder, x, y)
+                    builder.free_many((x, y))
+                else:
+                    x = columns[w].pop(0)
+                    y = columns[w].pop(0)
+                    z = columns[w].pop(0)
+                    s, c = full_adder(builder, x, y, z)
+                    builder.free_many((x, y, z))
+                columns[w].append(s)
+                columns[w + 1].append(c)
+
+    # Final carry-propagate pass over the (height <= 2) columns.
+    product: List[int] = []
+    carry: "int | None" = None
+    for w in range(2 * n):
+        bits = columns.get(w, [])
+        operands = bits + ([carry] if carry is not None else [])
+        carry = None
+        if not operands:
+            product.append(builder.const_bit(0))
+        elif len(operands) == 1:
+            product.append(operands[0])
+        elif len(operands) == 2:
+            s, carry = half_adder(builder, operands[0], operands[1])
+            builder.free_many(operands)
+            product.append(s)
+        else:  # three operands: two column bits plus the incoming carry
+            s, carry = full_adder(builder, operands[0], operands[1], operands[2])
+            builder.free_many(operands)
+            product.append(s)
+        if w == 2 * n - 1 and carry is not None:
+            # The top column cannot overflow: a * b < 2^(2n).
+            builder.free(carry)
+            carry = None
+
+    assert len(product) == 2 * n
+    return BitVector(product)

@@ -1,0 +1,54 @@
+"""Population count: the reduction at the heart of binary neural networks.
+
+The paper cites binary NNs (BNNs) as the case where the whole non-linear
+step stays in memory: "a simple comparison operation can perform a logical
+threshold operation, producing the single bit output" [Courbariaux 2016;
+Resch 2019 (Pimball)]. A BNN neuron is XNOR followed by *popcount*
+followed by that comparison.
+
+Popcount is synthesized as a carry-save counter tree: full adders compress
+three same-weight bits into a sum and a carry of the next weight until one
+bit per weight remains — ``n - ceil(log2(n+1))``-ish adders, all expressed
+with the library-portable :func:`full_adder`/:func:`half_adder`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.synth.adders import full_adder, half_adder
+from repro.synth.bits import BitVector
+from repro.synth.program import LaneProgramBuilder
+
+
+def popcount(builder: LaneProgramBuilder, bits: BitVector) -> BitVector:
+    """Count the set bits of ``bits``; returns the count, LSB first.
+
+    The inputs are consumed (freed); the result has
+    ``ceil(log2(width + 1))`` bits.
+
+    Args:
+        builder: Target program builder.
+        bits: The bits to count (at least one).
+    """
+    if bits.width == 0:
+        raise ValueError("cannot popcount zero bits")
+    columns: Dict[int, List[int]] = {0: list(bits)}
+    weight = 0
+    result: List[int] = []
+    while weight in columns and columns[weight]:
+        column = columns[weight]
+        while len(column) > 1:
+            if len(column) >= 3:
+                x, y, z = column.pop(), column.pop(), column.pop()
+                s, c = full_adder(builder, x, y, z)
+                builder.free_many((x, y, z))
+            else:
+                x, y = column.pop(), column.pop()
+                s, c = half_adder(builder, x, y)
+                builder.free_many((x, y))
+            column.append(s)
+            columns.setdefault(weight + 1, []).append(c)
+        result.append(column[0])
+        weight += 1
+    return BitVector(result)

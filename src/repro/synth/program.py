@@ -1,0 +1,595 @@
+"""Lane programs: executable sequences of in-memory operations.
+
+A :class:`LaneProgram` is the unit of work one PIM lane performs in one
+iteration of a workload: standard memory writes that place operands,
+logic gates that compute, and standard memory reads that extract results
+or feed inter-lane transfers. Programs address *logical* bits; load
+balancing decides the physical cells (paper Section 3.2, Fig. 7).
+
+Programs are both *countable* (per-logical-bit read/write histograms, the
+raw material of every endurance result in the paper) and *executable*
+(bit-accurate evaluation, so the synthesized arithmetic is verified against
+Python integer arithmetic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.gates.gate import Gate
+from repro.gates.library import GateLibrary
+from repro.gates.ops import GateOp
+from repro.synth.bits import AllocationPolicy, BitAllocator, BitVector
+
+
+@dataclass(frozen=True)
+class OperandBit:
+    """A write sourced from bit ``index`` of named operand ``name``."""
+
+    name: str
+    index: int
+
+
+@dataclass(frozen=True)
+class ExternalBit:
+    """A write sourced from another lane (inter-lane transfer), bit
+    ``index`` of the transfer stream tagged ``tag``."""
+
+    tag: str
+    index: int
+
+
+@dataclass(frozen=True)
+class ConstBit:
+    """A write of a constant 0/1 (e.g., clearing a carry seed)."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError("ConstBit value must be 0 or 1")
+
+
+WriteSource = Union[OperandBit, ExternalBit, ConstBit]
+
+
+@dataclass(frozen=True)
+class WriteInstr:
+    """A standard memory write into logical bit ``address``."""
+
+    address: int
+    source: Optional[WriteSource] = None
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("negative bit address")
+
+
+@dataclass(frozen=True)
+class ReadInstr:
+    """A standard memory read of logical bit ``address``.
+
+    ``tag``/``index`` label the destination stream so multi-lane workloads
+    can route read-out bits into another lane's :class:`ExternalBit` writes.
+    """
+
+    address: int
+    tag: Optional[str] = None
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("negative bit address")
+
+
+Instruction = Union[WriteInstr, ReadInstr, Gate]
+
+
+class LaneProgram:
+    """An immutable sequence of lane instructions plus operand metadata.
+
+    Attributes:
+        name: Program label (used in reports).
+        instructions: The instruction sequence.
+        footprint: Number of distinct logical bit addresses used; the
+            minimum lane height required to run the program.
+        inputs: Operand name -> logical addresses (LSB first).
+        outputs: Result name -> logical addresses (LSB first).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        instructions: Sequence[Instruction],
+        footprint: int,
+        inputs: Dict[str, Tuple[int, ...]],
+        outputs: Dict[str, Tuple[int, ...]],
+    ) -> None:
+        self.name = name
+        self.instructions: Tuple[Instruction, ...] = tuple(instructions)
+        self.footprint = int(footprint)
+        self.inputs = dict(inputs)
+        self.outputs = dict(outputs)
+        self._counts_cache: Dict[Tuple[str, int, bool], np.ndarray] = {}
+        self._validate()
+
+    def _validate(self) -> None:
+        for instr in self.instructions:
+            addresses = self._addresses_of(instr)
+            for address in addresses:
+                if address >= self.footprint:
+                    raise ValueError(
+                        f"instruction {instr} addresses bit {address} outside "
+                        f"footprint {self.footprint}"
+                    )
+
+    @staticmethod
+    def _addresses_of(instr: Instruction) -> Tuple[int, ...]:
+        if isinstance(instr, WriteInstr):
+            return (instr.address,)
+        if isinstance(instr, ReadInstr):
+            return (instr.address,)
+        if isinstance(instr, Gate):
+            return instr.inputs + (instr.output,)
+        raise TypeError(f"unknown instruction type {type(instr)!r}")
+
+    # ------------------------------------------------------------------
+    # Counting (the endurance-relevant view)
+    # ------------------------------------------------------------------
+
+    @property
+    def gate_count(self) -> int:
+        """Number of logic gates."""
+        return sum(1 for i in self.instructions if isinstance(i, Gate))
+
+    @property
+    def sequential_ops(self) -> int:
+        """Sequential operation slots the program occupies.
+
+        Gates within a lane share the lane's compute hardware, so every
+        instruction — gate, read, or write — takes one slot (Section 2.2:
+        "even if gates are logically independent they must still be
+        performed sequentially"). The paper's 3 ns/op latency multiplies
+        this count.
+        """
+        return len(self.instructions)
+
+    def write_counts(
+        self, size: Optional[int] = None, include_presets: bool = False
+    ) -> np.ndarray:
+        """Per-logical-bit write counts for one run of the program.
+
+        Args:
+            size: Length of the returned vector (defaults to the
+                footprint; pass the lane height to embed in a lane).
+            include_presets: Add one extra write per gate output, modelling
+                CRAM-style architectures where "the initial value of the
+                output cell affects computation and often needs to be preset
+                before computation" (Section 3.2). The paper's evaluation
+                accounts for these presets (Section 4).
+        """
+        n = self.footprint if size is None else int(size)
+        if n < self.footprint:
+            raise ValueError(f"size {n} smaller than footprint {self.footprint}")
+        key = ("write", n, include_presets)
+        cached = self._counts_cache.get(key)
+        if cached is None:
+            counts = np.zeros(n, dtype=np.int64)
+            per_gate_writes = 2 if include_presets else 1
+            for instr in self.instructions:
+                if isinstance(instr, WriteInstr):
+                    counts[instr.address] += 1
+                elif isinstance(instr, Gate):
+                    counts[instr.output] += per_gate_writes
+            cached = self._counts_cache[key] = counts
+        return cached.copy()
+
+    def read_counts(self, size: Optional[int] = None) -> np.ndarray:
+        """Per-logical-bit read counts for one run of the program."""
+        n = self.footprint if size is None else int(size)
+        if n < self.footprint:
+            raise ValueError(f"size {n} smaller than footprint {self.footprint}")
+        key = ("read", n, False)
+        cached = self._counts_cache.get(key)
+        if cached is None:
+            counts = np.zeros(n, dtype=np.int64)
+            for instr in self.instructions:
+                if isinstance(instr, ReadInstr):
+                    counts[instr.address] += 1
+                elif isinstance(instr, Gate):
+                    for address in instr.inputs:
+                        counts[address] += 1
+            cached = self._counts_cache[key] = counts
+        return cached.copy()
+
+    @property
+    def total_writes(self) -> int:
+        """Total cell writes in one run (without presets)."""
+        return int(self.write_counts().sum())
+
+    @property
+    def total_reads(self) -> int:
+        """Total cell reads in one run."""
+        return int(self.read_counts().sum())
+
+    def write_addresses(self, include_presets: bool = False) -> List[int]:
+        """The ordered sequence of logical addresses written.
+
+        This is the stream hardware re-mapping (Section 3.2) renames; a
+        preset, when modelled, is a write to the same output immediately
+        before the gate's own write.
+        """
+        sequence: List[int] = []
+        for instr in self.instructions:
+            if isinstance(instr, WriteInstr):
+                sequence.append(instr.address)
+            elif isinstance(instr, Gate):
+                if include_presets:
+                    sequence.append(instr.output)
+                sequence.append(instr.output)
+        return sequence
+
+    # ------------------------------------------------------------------
+    # Functional evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        operands: Optional[Dict[str, int]] = None,
+        externals: Optional[Dict[str, Sequence[int]]] = None,
+        stuck: Optional[Dict[int, int]] = None,
+    ) -> Tuple[Dict[str, int], Dict[str, List[int]]]:
+        """Run the program bit-accurately.
+
+        Args:
+            operands: Unsigned integer value per input operand name.
+            externals: Bit streams (LSB-first 0/1 lists) per transfer tag,
+                consumed by :class:`ExternalBit`-sourced writes.
+            stuck: Optional stuck-at faults: logical address -> the value
+                the dead cell always returns. Writes to a stuck cell are
+                silently lost — the failure mode of an endurance-exhausted
+                device (Section 3.3's "the array can produce incorrect
+                results", made executable).
+
+        Returns:
+            ``(outputs, readouts)`` — output name to unsigned integer, and
+            read-out tag to the LSB-first bit list captured by tagged
+            :class:`ReadInstr` instructions.
+
+        Raises:
+            KeyError: if an operand or external stream is missing.
+            ValueError: if a gate reads an uninitialized bit or an operand
+                does not fit its declared width.
+        """
+        operands = dict(operands or {})
+        externals = {k: list(v) for k, v in (externals or {}).items()}
+        stuck = dict(stuck or {})
+        for address, value in stuck.items():
+            if value not in (0, 1):
+                raise ValueError(f"stuck value must be 0/1, got {value!r}")
+            if not 0 <= address < self.footprint:
+                raise ValueError(f"stuck address {address} outside footprint")
+        operand_bits: Dict[str, List[int]] = {}
+        for name, addresses in self.inputs.items():
+            if name not in operands:
+                raise KeyError(f"missing operand {name!r}")
+            operand_bits[name] = BitVector.value_bits(
+                operands[name], len(addresses)
+            )
+        memory: Dict[int, int] = dict(stuck)
+        readouts: Dict[str, List[int]] = {}
+
+        def store(address: int, value: int) -> None:
+            if address not in stuck:
+                memory[address] = value
+
+        for instr in self.instructions:
+            if isinstance(instr, WriteInstr):
+                store(
+                    instr.address,
+                    self._source_value(instr, operand_bits, externals),
+                )
+            elif isinstance(instr, ReadInstr):
+                value = self._read_bit(memory, instr.address)
+                if instr.tag is not None:
+                    stream = readouts.setdefault(instr.tag, [])
+                    while len(stream) <= instr.index:
+                        stream.append(0)
+                    stream[instr.index] = value
+            else:  # Gate
+                values = tuple(self._read_bit(memory, a) for a in instr.inputs)
+                store(instr.output, instr.evaluate(values))
+        outputs = {
+            name: BitVector.bits_value(
+                [self._read_bit(memory, a) for a in addresses]
+            )
+            for name, addresses in self.outputs.items()
+        }
+        return outputs, readouts
+
+    @staticmethod
+    def _read_bit(memory: Dict[int, int], address: int) -> int:
+        try:
+            return memory[address]
+        except KeyError:
+            raise ValueError(
+                f"read of uninitialized logical bit {address}"
+            ) from None
+
+    @staticmethod
+    def _source_value(
+        instr: WriteInstr,
+        operand_bits: Dict[str, List[int]],
+        externals: Dict[str, List[int]],
+    ) -> int:
+        source = instr.source
+        if source is None:
+            return 0  # preset/scratch write; the value never matters
+        if isinstance(source, ConstBit):
+            return source.value
+        if isinstance(source, OperandBit):
+            return operand_bits[source.name][source.index]
+        if isinstance(source, ExternalBit):
+            try:
+                stream = externals[source.tag]
+            except KeyError:
+                raise KeyError(f"missing external stream {source.tag!r}") from None
+            if source.index >= len(stream):
+                raise ValueError(
+                    f"external stream {source.tag!r} has {len(stream)} bits, "
+                    f"needs index {source.index}"
+                )
+            return stream[source.index]
+        raise TypeError(f"unknown write source {source!r}")
+
+    def format_netlist(self, limit: Optional[int] = 40) -> str:
+        """A human-readable instruction listing (for debugging/teaching).
+
+        Args:
+            limit: Maximum instructions to print (``None`` = all).
+        """
+        lines = [repr(self)]
+        shown = (
+            self.instructions
+            if limit is None
+            else self.instructions[:limit]
+        )
+        for index, instr in enumerate(shown):
+            if isinstance(instr, WriteInstr):
+                source = instr.source
+                if isinstance(source, OperandBit):
+                    detail = f"{source.name}[{source.index}]"
+                elif isinstance(source, ExternalBit):
+                    detail = f"<{source.tag}[{source.index}]>"
+                elif isinstance(source, ConstBit):
+                    detail = f"const {source.value}"
+                else:
+                    detail = "scratch"
+                lines.append(f"{index:5d}  WRITE b{instr.address:<5d} <- {detail}")
+            elif isinstance(instr, ReadInstr):
+                tag = f" -> {instr.tag}[{instr.index}]" if instr.tag else ""
+                lines.append(f"{index:5d}  READ  b{instr.address:<5d}{tag}")
+            else:
+                inputs = ", ".join(f"b{a}" for a in instr.inputs)
+                lines.append(
+                    f"{index:5d}  {instr.op.name:<5s} b{instr.output:<5d} "
+                    f"<- {inputs}"
+                )
+        hidden = len(self.instructions) - len(shown)
+        if hidden > 0:
+            lines.append(f"  ... {hidden} more instructions")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"LaneProgram({self.name!r}, gates={self.gate_count}, "
+            f"footprint={self.footprint}, writes={self.total_writes}, "
+            f"reads={self.total_reads})"
+        )
+
+
+class LaneProgramBuilder:
+    """Incrementally builds a :class:`LaneProgram`.
+
+    The builder owns a :class:`~repro.synth.bits.BitAllocator` and enforces
+    the target architecture's gate library: gates outside the library's
+    native set are rejected, so a program built for a NAND-only fabric can
+    never contain an OR.
+
+    Args:
+        library: Native gate set of the target architecture.
+        capacity: Lane height limit (``None`` = unbounded).
+        name: Program label.
+        policy: Logical-bit reuse policy (see
+            :class:`~repro.synth.bits.AllocationPolicy`).
+    """
+
+    def __init__(
+        self,
+        library: GateLibrary,
+        capacity: "int | None" = None,
+        name: str = "program",
+        policy: AllocationPolicy = AllocationPolicy.LOWEST_FIRST,
+    ) -> None:
+        self.library = library
+        self.name = name
+        self._allocator = BitAllocator(capacity, policy)
+        self._instructions: List[Instruction] = []
+        self._inputs: Dict[str, Tuple[int, ...]] = {}
+        self._outputs: Dict[str, Tuple[int, ...]] = {}
+        self._zero_bit: "int | None" = None
+
+    @property
+    def allocator(self) -> BitAllocator:
+        """The underlying logical-bit allocator."""
+        return self._allocator
+
+    # -- operand plumbing ----------------------------------------------
+
+    def input_vector(self, operand: str, width: int) -> BitVector:
+        """Allocate and load a ``width``-bit input operand.
+
+        Each bit costs one standard memory write — these are the
+        once-per-iteration input writes visible at the bottom of the
+        paper's Fig. 5 profile.
+        """
+        if operand in self._inputs:
+            raise ValueError(f"operand {operand!r} already declared")
+        addresses = self._allocator.alloc_many(width)
+        for index, address in enumerate(addresses):
+            self._instructions.append(
+                WriteInstr(address, OperandBit(operand, index))
+            )
+        self._inputs[operand] = tuple(addresses)
+        return BitVector(addresses)
+
+    def receive_vector(self, tag: str, width: int) -> BitVector:
+        """Allocate bits filled by an inter-lane transfer stream ``tag``.
+
+        Each bit costs one standard memory write in this lane (the paper's
+        reduction traffic: "a series of memory operations to bring the
+        products into the same lanes", Section 3.2).
+        """
+        addresses = self._allocator.alloc_many(width)
+        for index, address in enumerate(addresses):
+            self._instructions.append(
+                WriteInstr(address, ExternalBit(tag, index))
+            )
+        return BitVector(addresses)
+
+    def const_bit(self, value: int) -> int:
+        """Allocate a bit holding a compile-time constant (one write)."""
+        address = self._allocator.alloc()
+        self._instructions.append(WriteInstr(address, ConstBit(value)))
+        return address
+
+    def zero_bit(self) -> int:
+        """A shared constant-0 cell, allocated once per program.
+
+        Majority-gate fabrics synthesize AND/OR by tying one input to a
+        constant; the constant cell is written once and only read after.
+        """
+        if self._zero_bit is None:
+            self._zero_bit = self.const_bit(0)
+        return self._zero_bit
+
+    def send_vector(self, vector: BitVector, tag: str) -> None:
+        """Read ``vector`` out of the lane into transfer stream ``tag``."""
+        for index, address in enumerate(vector):
+            self._instructions.append(ReadInstr(address, tag=tag, index=index))
+
+    def read_out(self, vector: BitVector, tag: str) -> None:
+        """Read a result vector out of the array (tagged for evaluation)."""
+        self.send_vector(vector, tag)
+
+    def mark_output(self, name: str, vector: BitVector) -> None:
+        """Declare ``vector`` as a named result of the program."""
+        if name in self._outputs:
+            raise ValueError(f"output {name!r} already declared")
+        self._outputs[name] = vector.addresses
+
+    # -- computation ----------------------------------------------------
+
+    def gate(self, op: GateOp, *inputs: int) -> int:
+        """Append a native gate; returns the freshly-allocated output bit.
+
+        Raises:
+            ValueError: if ``op`` is not native to the builder's library.
+        """
+        if not self.library.supports(op):
+            raise ValueError(
+                f"{op.name} is not native to the {self.library.name!r} library"
+            )
+        output = self._allocator.alloc()
+        self._instructions.append(Gate(op, tuple(inputs), output))
+        return output
+
+    def gate_into(self, op: GateOp, target: int, *inputs: int) -> int:
+        """Append a native gate writing into an already-allocated bit.
+
+        Used when the destination address is architecturally significant
+        (e.g., un-shuffling a result back to its expected location,
+        Section 3.2 / Fig. 10).
+        """
+        if not self.library.supports(op):
+            raise ValueError(
+                f"{op.name} is not native to the {self.library.name!r} library"
+            )
+        if not self._allocator.is_live(target):
+            raise ValueError(f"target bit {target} is not allocated")
+        self._instructions.append(Gate(op, tuple(inputs), target))
+        return target
+
+    def copy_into(self, source: int, target: int) -> int:
+        """Copy ``source`` into the existing bit ``target`` (COPY or 2 NOTs)."""
+        if self.library.has_native_copy:
+            return self.gate_into(GateOp.COPY, target, source)
+        intermediate = self.gate(GateOp.NOT, source)
+        self.gate_into(GateOp.NOT, target, intermediate)
+        self.free(intermediate)
+        return target
+
+    def copy_bit(self, source: int) -> int:
+        """Copy a bit using COPY, or two sequential NOTs when COPY is not
+        native (Section 3.2, footnote 5)."""
+        if self.library.has_native_copy:
+            return self.gate(GateOp.COPY, source)
+        intermediate = self.gate(GateOp.NOT, source)
+        result = self.gate(GateOp.NOT, intermediate)
+        self.free(intermediate)
+        return result
+
+    def and_bit(self, a: int, b: int) -> int:
+        """AND two bits at the library's AND cost."""
+        if self.library.supports(GateOp.AND):
+            return self.gate(GateOp.AND, a, b)
+        if self.library.supports(GateOp.MAJ):
+            # AND(a, b) == MAJ(a, b, 0): one gate plus the shared zero cell.
+            return self.gate(GateOp.MAJ, a, b, self.zero_bit())
+        if self.library.supports(GateOp.NAND):
+            n = self.gate(GateOp.NAND, a, b)
+            result = self.gate(GateOp.NOT, n)
+            self.free(n)
+            return result
+        if self.library.supports(GateOp.NOR):
+            na = self.gate(GateOp.NOT, a)
+            nb = self.gate(GateOp.NOT, b)
+            result = self.gate(GateOp.NOR, na, nb)
+            self.free_many((na, nb))
+            return result
+        raise ValueError(
+            f"library {self.library.name!r} cannot synthesize AND"
+        )
+
+    def not_bit(self, a: int) -> int:
+        """Invert a bit."""
+        return self.gate(GateOp.NOT, a)
+
+    # -- lifetime management ---------------------------------------------
+
+    def free(self, address: int) -> None:
+        """Free a logical bit once its value is dead."""
+        self._allocator.free(address)
+
+    def free_many(self, addresses) -> None:
+        """Free several logical bits."""
+        self._allocator.free_many(addresses)
+
+    def free_vector(self, vector: BitVector) -> None:
+        """Free every bit of a vector."""
+        self._allocator.free_many(vector.addresses)
+
+    # -- finalization -----------------------------------------------------
+
+    def finish(self, name: Optional[str] = None) -> LaneProgram:
+        """Freeze the builder into an immutable :class:`LaneProgram`."""
+        return LaneProgram(
+            name=name or self.name,
+            instructions=self._instructions,
+            footprint=self._allocator.high_water_mark,
+            inputs=self._inputs,
+            outputs=self._outputs,
+        )

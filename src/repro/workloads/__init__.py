@@ -1,0 +1,45 @@
+"""The paper's benchmark workloads (Section 4).
+
+"We use three representative case studies which cover extreme ends of
+potential computations: 1) Embarrassingly parallel multiplications, 2)
+Neural network (NN) inference (convolution), and 3) Vector dot-products."
+
+* :class:`~repro.workloads.multiply.ParallelMultiplication` — the ideal
+  case: one independent multiplication per lane, no communication;
+* :class:`~repro.workloads.dotproduct.DotProduct` — the non-ideal case:
+  parallel multiplies followed by a reduction that funnels partial sums
+  into low-index lanes;
+* :class:`~repro.workloads.convolution.Convolution` — the middle ground:
+  grouped lanes computing neuron-weight products with a per-group
+  reduction and a comparison non-linearity;
+* :mod:`repro.workloads.conventional` — the CPU+memory baseline the paper
+  compares against in Section 3.1.
+"""
+
+from repro.workloads.base import (
+    Phase,
+    Workload,
+    WorkloadMapping,
+    evaluate_networked,
+)
+from repro.workloads.multiply import ParallelMultiplication
+from repro.workloads.dotproduct import DotProduct
+from repro.workloads.convolution import Convolution
+from repro.workloads.conventional import ConventionalBaseline
+from repro.workloads.vectoradd import VectorAdd
+from repro.workloads.bnn import BinaryNeuron
+from repro.workloads.matvec import MatrixVectorProduct
+
+__all__ = [
+    "Phase",
+    "Workload",
+    "WorkloadMapping",
+    "evaluate_networked",
+    "ParallelMultiplication",
+    "DotProduct",
+    "Convolution",
+    "ConventionalBaseline",
+    "VectorAdd",
+    "BinaryNeuron",
+    "MatrixVectorProduct",
+]

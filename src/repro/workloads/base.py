@@ -1,0 +1,248 @@
+"""Workload abstractions: lane assignments, schedules, utilization.
+
+A workload iteration is described by two coupled views:
+
+* the **wear view** — which lane runs which :class:`LaneProgram`; lanes
+  with identical roles share one canonical program object so the epoch
+  algebra can treat them as a group;
+* the **schedule view** — an ordered list of :class:`Phase` records
+  (sequential step count x active lanes), from which iteration latency
+  (3 ns per sequential op, Section 4) and the paper's *average lane
+  utilization* (Table 3) follow.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.array.architecture import PIMArchitecture
+from repro.synth.program import LaneProgram
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A stretch of the per-iteration schedule.
+
+    Attributes:
+        name: Human-readable label.
+        steps: Sequential operation slots the phase occupies. Lanes operate
+            in lock-step, so a phase's latency is ``steps`` regardless of
+            how many lanes participate.
+        active_lanes: Lanes doing useful work during the phase.
+    """
+
+    name: str
+    steps: int
+    active_lanes: int
+
+    def __post_init__(self) -> None:
+        if self.steps < 0:
+            raise ValueError("steps must be non-negative")
+        if self.active_lanes < 0:
+            raise ValueError("active_lanes must be non-negative")
+
+
+@dataclass
+class WorkloadMapping:
+    """One workload iteration mapped onto a concrete architecture.
+
+    Attributes:
+        workload_name: Source workload label.
+        architecture: The target architecture.
+        assignment: Logical lane -> program (lanes in the same role share
+            one program object).
+        phases: The per-iteration schedule.
+    """
+
+    workload_name: str
+    architecture: PIMArchitecture
+    assignment: Dict[int, LaneProgram]
+    phases: List[Phase]
+
+    @property
+    def sequential_ops(self) -> int:
+        """Sequential operation slots per iteration (latency / 3 ns)."""
+        return sum(phase.steps for phase in self.phases)
+
+    @property
+    def iteration_latency_s(self) -> float:
+        """Wall-clock latency of one iteration."""
+        return self.sequential_ops * self.architecture.technology.op_latency_s
+
+    @property
+    def active_lane_count(self) -> int:
+        """Lanes that participate at all."""
+        return len(self.assignment)
+
+    @property
+    def lane_utilization(self) -> float:
+        """Time-weighted average fraction of lanes doing useful work.
+
+        This is the paper's Table 3 "Avg Lane Utilization": 100% for the
+        embarrassingly parallel multiply, lower for workloads whose
+        reduction phases idle most lanes.
+        """
+        total_steps = self.sequential_ops
+        if total_steps == 0:
+            return 0.0
+        lane_count = self.architecture.lane_count
+        weighted = sum(phase.steps * phase.active_lanes for phase in self.phases)
+        return weighted / (total_steps * lane_count)
+
+    @property
+    def writes_per_iteration(self) -> float:
+        """Total cell writes per iteration (with the architecture's presets)."""
+        include = self.architecture.presets_output
+        return float(
+            sum(
+                program.write_counts(include_presets=include).sum()
+                for program in self.assignment.values()
+            )
+        )
+
+    @property
+    def reads_per_iteration(self) -> float:
+        """Total cell reads per iteration."""
+        return float(
+            sum(
+                program.read_counts().sum()
+                for program in self.assignment.values()
+            )
+        )
+
+    def lane_work(self) -> float:
+        """Total lane-operation slots consumed per iteration.
+
+        Each instruction a lane executes occupies one slot (gates occupy
+        ``writes_per_gate`` slots on pre-setting architectures). This is
+        the wear view's own op count, summed over lanes.
+        """
+        slots = self.architecture.writes_per_gate
+        total = 0
+        for program in self.assignment.values():
+            gates = program.gate_count
+            serial = program.sequential_ops - gates  # reads + writes
+            total += serial + gates * slots
+        return float(total)
+
+    def validate_schedule(self, tolerance: float = 0.0) -> None:
+        """Cross-check the phase schedule against the lane programs.
+
+        Invariants:
+
+        1. total scheduled work — ``sum(steps * active_lanes)`` over the
+           phases — equals the wear view's :meth:`lane_work` (to within
+           ``tolerance``, relative);
+        2. no lane's program exceeds the iteration's sequential slots (a
+           lane cannot do more work than there is time).
+
+        Workload authors hand-write the phase schedule; this catches the
+        two ways it can silently drift from the programs.
+
+        Raises:
+            ValueError: if either invariant fails.
+        """
+        scheduled = float(
+            sum(phase.steps * phase.active_lanes for phase in self.phases)
+        )
+        actual = self.lane_work()
+        reference = max(actual, 1.0)
+        if abs(scheduled - actual) > tolerance * reference:
+            raise ValueError(
+                f"schedule accounts for {scheduled:g} lane-ops but the "
+                f"programs perform {actual:g} (workload "
+                f"{self.workload_name!r})"
+            )
+        slots = self.architecture.writes_per_gate
+        budget = self.sequential_ops
+        for lane, program in self.assignment.items():
+            lane_ops = (
+                program.sequential_ops
+                - program.gate_count
+                + program.gate_count * slots
+            )
+            if lane_ops > budget:
+                raise ValueError(
+                    f"lane {lane} performs {lane_ops} ops but the schedule "
+                    f"has only {budget} sequential slots"
+                )
+
+    def operation_costs(self, energy_model=None):
+        """Latency/energy of one iteration as an ``OperationCosts`` record.
+
+        Combines the schedule's sequential slots (latency) with the wear
+        view's cell reads/writes (energy) under the architecture's
+        technology unless an explicit model is given.
+        """
+        from repro.devices.energy import EnergyModel
+
+        model = energy_model or EnergyModel(self.architecture.technology)
+        return model.costs(
+            sequential_ops=self.sequential_ops,
+            cell_reads=int(self.reads_per_iteration),
+            cell_writes=int(self.writes_per_iteration),
+        )
+
+    def distinct_programs(self) -> List[LaneProgram]:
+        """The canonical program objects, one per lane role."""
+        seen: Dict[int, LaneProgram] = {}
+        for program in self.assignment.values():
+            seen.setdefault(id(program), program)
+        return list(seen.values())
+
+
+class Workload(ABC):
+    """A benchmark kernel that maps onto one PIM array."""
+
+    #: Human-readable name (used in reports and figure labels).
+    name: str = "workload"
+
+    @abstractmethod
+    def build(self, architecture: PIMArchitecture) -> WorkloadMapping:
+        """Map one iteration onto ``architecture`` (wear + schedule views)."""
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        return self.name
+
+
+def evaluate_networked(
+    programs: Mapping[int, LaneProgram],
+    operands: Mapping[int, Mapping[str, int]],
+    order: Sequence[int],
+    externals: Optional[Dict[str, List[int]]] = None,
+) -> Tuple[Dict[int, Dict[str, int]], Dict[str, List[int]]]:
+    """Evaluate interconnected lane programs in dependency order.
+
+    Lanes communicate through tagged read-out streams: a sender's tagged
+    :class:`ReadInstr` bits become the pool entries that a receiver's
+    :class:`ExternalBit` writes consume. ``order`` must list every lane
+    such that senders precede their receivers (reductions toward lower
+    lanes evaluate in decreasing lane order).
+
+    Args:
+        programs: Lane -> its (individually wired) program.
+        operands: Lane -> operand values for that lane's program.
+        order: Evaluation order over the lanes.
+        externals: Optional pre-seeded transfer pool.
+
+    Returns:
+        ``(outputs, pool)``: per-lane named outputs, and the final
+        transfer pool (tag -> bits).
+    """
+    pool: Dict[str, List[int]] = dict(externals or {})
+    outputs: Dict[int, Dict[str, int]] = {}
+    if set(order) != set(programs):
+        raise ValueError("order must cover exactly the mapped lanes")
+    for lane in order:
+        lane_outputs, readouts = programs[lane].evaluate(
+            dict(operands.get(lane, {})), pool
+        )
+        outputs[lane] = lane_outputs
+        for tag, bits in readouts.items():
+            if tag in pool:
+                raise ValueError(f"duplicate transfer tag {tag!r}")
+            pool[tag] = bits
+    return outputs, pool

@@ -1,0 +1,143 @@
+"""Binary neural network (BNN) neuron — the all-in-memory inference case.
+
+One lane computes one binarized neuron end to end [Resch 2019 (Pimball),
+Courbariaux 2016]: XNOR of an ``n``-bit input vector against ``n`` stored
+weights, popcount of the matches, and a threshold comparison producing the
+single-bit activation — the workload the paper points to when noting that
+for BNNs even the non-linearity stays in the array (Section 4).
+
+Endurance-wise this sits between vector addition and multiplication:
+~``10n`` gates per neuron versus a 32-bit multiply's 9,824 — so on the
+same devices, BNN inference runs orders of magnitude more operations
+before wear-out.
+"""
+
+from __future__ import annotations
+
+from repro.array.architecture import PIMArchitecture
+from repro.gates.ops import GateOp
+from repro.synth.bits import AllocationPolicy, BitVector
+from repro.synth.comparator import compare_ge
+from repro.synth.popcount import popcount
+from repro.synth.program import LaneProgram, LaneProgramBuilder
+from repro.workloads.base import Phase, Workload, WorkloadMapping
+
+
+class BinaryNeuron(Workload):
+    """One binarized neuron per lane: XNOR, popcount, threshold.
+
+    Args:
+        n_inputs: Fan-in of the neuron (paper-scale BNN layers use 64-512).
+        lanes: Lanes to use (defaults to all).
+        allocation_policy: Workspace reuse policy.
+    """
+
+    def __init__(
+        self,
+        n_inputs: int = 128,
+        lanes: "int | None" = None,
+        allocation_policy: AllocationPolicy = AllocationPolicy.RING,
+    ) -> None:
+        if n_inputs < 2:
+            raise ValueError("n_inputs must be at least 2")
+        self.n_inputs = n_inputs
+        self.lanes = lanes
+        self.allocation_policy = allocation_policy
+        self.name = f"bnn-neuron-{n_inputs}"
+
+    @property
+    def count_width(self) -> int:
+        """Width of the popcount result."""
+        return (self.n_inputs).bit_length()
+
+    def _xnor_bit(self, builder: LaneProgramBuilder, a: int, b: int) -> int:
+        """XNOR at the library's cost (native, or NOT(XOR)/NAND fallback)."""
+        library = builder.library
+        if library.supports(GateOp.XNOR):
+            return builder.gate(GateOp.XNOR, a, b)
+        if library.supports(GateOp.XOR):
+            x = builder.gate(GateOp.XOR, a, b)
+            out = builder.gate(GateOp.NOT, x)
+            builder.free(x)
+            return out
+        if library.supports(GateOp.NAND):
+            # XNOR = NOT(XOR); XOR from 4 NANDs.
+            n1 = builder.gate(GateOp.NAND, a, b)
+            n2 = builder.gate(GateOp.NAND, a, n1)
+            n3 = builder.gate(GateOp.NAND, b, n1)
+            x = builder.gate(GateOp.NAND, n2, n3)
+            builder.free_many((n1, n2, n3))
+            out = builder.gate(GateOp.NOT, x)
+            builder.free(x)
+            return out
+        if library.supports(GateOp.MAJ):
+            # XNOR(a,b) = MAJ(a', b, MAJ(a, b', 0)) ... simpler: via AND/OR
+            # identities: XNOR = (a AND b) OR (a' AND b').
+            na = builder.gate(GateOp.NOT, a)
+            nb = builder.gate(GateOp.NOT, b)
+            zero = builder.zero_bit()
+            both = builder.gate(GateOp.MAJ, a, b, zero)
+            neither = builder.gate(GateOp.MAJ, na, nb, zero)
+            one = builder.gate(GateOp.NOT, zero)  # constant 1
+            out = builder.gate(GateOp.MAJ, both, neither, one)  # OR
+            builder.free_many((na, nb, both, neither, one))
+            return out
+        raise ValueError(
+            f"library {library.name!r} cannot synthesize XNOR"
+        )
+
+    def build_program(self, architecture: PIMArchitecture) -> LaneProgram:
+        """The canonical per-lane neuron program."""
+        builder = LaneProgramBuilder(
+            architecture.library,
+            capacity=architecture.lane_size - 1,
+            name=f"bnn{self.n_inputs}",
+            policy=self.allocation_policy,
+        )
+        inputs = builder.input_vector("x", self.n_inputs)
+        weights = builder.input_vector("w", self.n_inputs)
+        matches = BitVector(
+            [
+                self._xnor_bit(builder, inputs[i], weights[i])
+                for i in range(self.n_inputs)
+            ]
+        )
+        count = popcount(builder, matches)
+        threshold = builder.input_vector("threshold", count.width)
+        activation = compare_ge(builder, count, threshold, free_inputs=True)
+        builder.mark_output("activation", BitVector([activation]))
+        builder.read_out(BitVector([activation]), tag="activation")
+        return builder.finish()
+
+    def build(self, architecture: PIMArchitecture) -> WorkloadMapping:
+        lane_count = architecture.lane_count
+        lanes = lane_count if self.lanes is None else self.lanes
+        if not 0 < lanes <= lane_count:
+            raise ValueError(
+                f"cannot place {lanes} neurons on {lane_count} lanes"
+            )
+        program = self.build_program(architecture)
+        gate_slots = architecture.writes_per_gate
+        phases = [
+            Phase(
+                "load-inputs",
+                # Inputs, weights, threshold, and the comparator's
+                # constant carry-seed write.
+                2 * self.n_inputs + self.count_width + 1,
+                lanes,
+            ),
+            Phase("neuron", program.gate_count * gate_slots, lanes),
+            Phase("read-out", 1, lanes),
+        ]
+        return WorkloadMapping(
+            workload_name=self.name,
+            architecture=architecture,
+            assignment={lane: program for lane in range(lanes)},
+            phases=phases,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"binarized neuron with fan-in {self.n_inputs}: XNOR + "
+            "popcount + threshold, entirely in memory"
+        )

@@ -1,0 +1,289 @@
+"""Convolution inference — the middle-ground PIM workload.
+
+Section 4/5: "we perform two-dimensional convolution with a 4 x 3 filter
+on a set of 16 x 16 neurons with 8-bit precision, using a comparison as
+the non-linear operation. Three multiplications are performed sequentially
+and the products are added into a partial sum within each lane. Then the
+partial sums from 4 lanes are moved to a single lane to compute the final
+sum and output."
+
+Every group of ``lanes_per_group`` lanes therefore hosts one filter
+position: each lane multiplies ``products_per_lane`` neuron-weight pairs
+and accumulates them; the group leader (the lowest lane of the group —
+"every fourth column") gathers the other partial sums, adds them, and
+thresholds the result with a comparison (the BNN non-linearity). The
+leader's extra reduction work is the every-fourth-column hot stripe of
+Fig. 15, which byte-shifting between lanes cannot level (Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.array.architecture import PIMArchitecture
+from repro.gates.library import GateLibrary
+from repro.synth.adders import ripple_carry_add
+from repro.synth.analysis import (
+    adder_counts,
+    full_adder_counts,
+    multiplier_counts,
+)
+from repro.synth.bits import AllocationPolicy, BitVector
+from repro.synth.comparator import compare_ge
+from repro.synth.multiplier import multiply
+from repro.synth.program import LaneProgram, LaneProgramBuilder
+from repro.workloads.base import Phase, Workload, WorkloadMapping
+
+
+class Convolution(Workload):
+    """2-D convolution with a comparison non-linearity.
+
+    Args:
+        filter_rows: Filter height (paper: 4).
+        filter_cols: Filter width (paper: 3).
+        neurons: Input feature-map dimensions (paper: 16 x 16); recorded
+            for provenance — the array is filled with as many filter
+            positions as fit, modelling batched/steady-state inference.
+        bits: Neuron/weight precision (paper: 8).
+        lanes_per_group: Lanes cooperating on one filter position
+            (paper: 4).
+        allocation_policy: Workspace reuse policy (``RING`` matches the
+            paper's simulator; see
+            :class:`~repro.synth.bits.AllocationPolicy`).
+        workspace_limit: Optional cap on the logical bits per lane
+            (Fig. 4's dedicated-workspace layout).
+    """
+
+    def __init__(
+        self,
+        filter_rows: int = 4,
+        filter_cols: int = 3,
+        neurons: Tuple[int, int] = (16, 16),
+        bits: int = 8,
+        lanes_per_group: int = 4,
+        allocation_policy: AllocationPolicy = AllocationPolicy.RING,
+        workspace_limit: "int | None" = None,
+    ) -> None:
+        if filter_rows < 1 or filter_cols < 1:
+            raise ValueError("filter dimensions must be positive")
+        if bits < 2:
+            raise ValueError("bits must be at least 2")
+        if lanes_per_group < 2:
+            raise ValueError("lanes_per_group must be at least 2")
+        taps = filter_rows * filter_cols
+        if taps % lanes_per_group:
+            raise ValueError(
+                f"filter taps ({taps}) must divide evenly into "
+                f"{lanes_per_group} lanes"
+            )
+        if neurons[0] < filter_rows or neurons[1] < filter_cols:
+            raise ValueError("neuron map smaller than the filter")
+        self.filter_rows = filter_rows
+        self.filter_cols = filter_cols
+        self.neurons = neurons
+        self.bits = bits
+        if workspace_limit is not None and workspace_limit < 1:
+            raise ValueError("workspace_limit must be positive")
+        self.lanes_per_group = lanes_per_group
+        self.allocation_policy = allocation_policy
+        self.workspace_limit = workspace_limit
+        self.products_per_lane = taps // lanes_per_group
+        self.name = (
+            f"convolution-{filter_rows}x{filter_cols}-{bits}b"
+        )
+
+    # ------------------------------------------------------------------
+    # Widths
+    # ------------------------------------------------------------------
+
+    @property
+    def partial_width(self) -> int:
+        """Width of one lane's accumulated partial sum."""
+        return 2 * self.bits + self.products_per_lane - 1
+
+    @property
+    def final_width(self) -> int:
+        """Width of the group leader's full sum."""
+        return self.partial_width + self.lanes_per_group - 1
+
+    # ------------------------------------------------------------------
+    # Program construction
+    # ------------------------------------------------------------------
+
+    def _accumulate_products(
+        self, builder: LaneProgramBuilder
+    ) -> "BitVector":
+        """Load this lane's neuron/weight pairs and accumulate products."""
+        pairs = []
+        for i in range(self.products_per_lane):
+            neuron = builder.input_vector(f"n{i}", self.bits)
+            weight = builder.input_vector(f"w{i}", self.bits)
+            pairs.append((neuron, weight))
+        # Neuron/weight cells are dedicated (Fig. 4); products and sums
+        # are freed as they are consumed.
+        current = multiply(builder, pairs[0][0], pairs[0][1])
+        for i in range(1, self.products_per_lane):
+            product = multiply(builder, pairs[i][0], pairs[i][1])
+            product = self._pad_to(builder, product, current.width)
+            current = ripple_carry_add(builder, current, product, free_inputs=True)
+        return current
+
+    @staticmethod
+    def _pad_to(
+        builder: LaneProgramBuilder, vector: "BitVector", width: int
+    ) -> "BitVector":
+        """Zero-extend a vector with constant bits (one write each)."""
+        if vector.width > width:
+            raise ValueError("cannot pad downward")
+        padding = [builder.const_bit(0) for _ in range(width - vector.width)]
+        return BitVector(vector.addresses + tuple(padding))
+
+    def _build_member_program(
+        self,
+        library: GateLibrary,
+        capacity: int,
+        send_tag: str = "partial-out",
+        policy: "AllocationPolicy | None" = None,
+    ) -> LaneProgram:
+        """A non-leader lane: products, partial sum, ship to the leader."""
+        builder = LaneProgramBuilder(
+            library,
+            capacity=capacity,
+            name="conv-member",
+            policy=policy or AllocationPolicy.LOWEST_FIRST,
+        )
+        partial = self._accumulate_products(builder)
+        builder.send_vector(partial, send_tag)
+        return builder.finish()
+
+    def _build_leader_program(
+        self,
+        library: GateLibrary,
+        capacity: int,
+        receive_tags: "List[str] | None" = None,
+        policy: "AllocationPolicy | None" = None,
+    ) -> LaneProgram:
+        """The group leader: own partial, gather, add, threshold, emit."""
+        builder = LaneProgramBuilder(
+            library,
+            capacity=capacity,
+            name="conv-leader",
+            policy=policy or AllocationPolicy.LOWEST_FIRST,
+        )
+        current = self._accumulate_products(builder)
+        for r in range(self.lanes_per_group - 1):
+            tag = (
+                receive_tags[r]
+                if receive_tags is not None
+                else f"partial-in{r}"
+            )
+            incoming = builder.receive_vector(tag, self.partial_width)
+            incoming = self._pad_to(builder, incoming, current.width)
+            current = ripple_carry_add(builder, current, incoming, free_inputs=True)
+        threshold = builder.input_vector("threshold", current.width)
+        activation = compare_ge(builder, current, threshold, free_inputs=True)
+        builder.mark_output("activation", BitVector([activation]))
+        builder.read_out(BitVector([activation]), tag="activation")
+        return builder.finish()
+
+    def build(self, architecture: PIMArchitecture) -> WorkloadMapping:
+        lane_count = architecture.lane_count
+        group = self.lanes_per_group
+        n_groups = lane_count // group
+        if n_groups == 0:
+            raise ValueError(
+                f"need at least {group} lanes, have {lane_count}"
+            )
+        library = architecture.library
+        capacity = architecture.lane_size - 1  # reserve the Hw spare bit
+        if self.workspace_limit is not None:
+            capacity = min(capacity, self.workspace_limit)
+        leader = self._build_leader_program(
+            library, capacity, policy=self.allocation_policy
+        )
+        member = self._build_member_program(
+            library, capacity, policy=self.allocation_policy
+        )
+
+        assignment: Dict[int, LaneProgram] = {}
+        for g in range(n_groups):
+            base = g * group
+            assignment[base] = leader
+            for offset in range(1, group):
+                assignment[base + offset] = member
+
+        used_lanes = n_groups * group
+        leaders = n_groups
+        gate_slots = architecture.writes_per_gate
+        mult_gates = multiplier_counts(self.bits, library).gates
+
+        phases: List[Phase] = [
+            Phase(
+                "load-operands", 2 * self.bits * self.products_per_lane, used_lanes
+            )
+        ]
+        # Per-lane product accumulation (all lanes in lock-step).
+        accumulate_steps = mult_gates * gate_slots
+        for i in range(1, self.products_per_lane):
+            width = 2 * self.bits + i - 1
+            accumulate_steps += mult_gates * gate_slots
+            accumulate_steps += width - (2 * self.bits)  # zero padding writes
+            accumulate_steps += adder_counts(width, library).gates * gate_slots
+        phases.append(Phase("partial-sums", accumulate_steps, used_lanes))
+        # Gather rounds: one member stripe at a time ships to the leaders.
+        for r in range(group - 1):
+            width = self.partial_width + r
+            phases.append(Phase(f"gather{r}-read", self.partial_width, leaders))
+            phases.append(Phase(f"gather{r}-write", self.partial_width, leaders))
+            pad = width - self.partial_width
+            add_steps = pad + adder_counts(width, library).gates * gate_slots
+            phases.append(Phase(f"gather{r}-add", add_steps, leaders))
+        # Threshold comparison on the leaders: one constant-seed write plus,
+        # per bit, one NOT and one full adder (see synth.comparator).
+        compare_gates = self.final_width * (
+            1 + full_adder_counts(library).gates
+        )
+        phases.append(Phase("threshold-load", self.final_width, leaders))
+        phases.append(
+            Phase("compare", 1 + compare_gates * gate_slots, leaders)
+        )
+        phases.append(Phase("read-out", 1, leaders))
+
+        return WorkloadMapping(
+            workload_name=self.name,
+            architecture=architecture,
+            assignment=assignment,
+            phases=phases,
+        )
+
+    # ------------------------------------------------------------------
+    # Functionally wired single group
+    # ------------------------------------------------------------------
+
+    def build_functional_group(
+        self, library: GateLibrary, capacity: "int | None" = None
+    ) -> Tuple[Dict[int, LaneProgram], List[int]]:
+        """One wired group: lane 0 is the leader, lanes 1.. are members.
+
+        Evaluate with :func:`repro.workloads.base.evaluate_networked` in
+        the returned (descending) order; the leader's ``activation`` output
+        is 1 iff the convolution sum meets the threshold.
+        """
+        cap = capacity or 10**9
+        tags = [f"conv-m{i}" for i in range(1, self.lanes_per_group)]
+        programs: Dict[int, LaneProgram] = {
+            0: self._build_leader_program(library, cap, receive_tags=tags)
+        }
+        for i in range(1, self.lanes_per_group):
+            programs[i] = self._build_member_program(
+                library, cap, send_tag=tags[i - 1]
+            )
+        order = list(range(self.lanes_per_group - 1, -1, -1))
+        return programs, order
+
+    def describe(self) -> str:
+        return (
+            f"{self.filter_rows}x{self.filter_cols} filter over "
+            f"{self.neurons[0]}x{self.neurons[1]} neurons, {self.bits}-bit, "
+            f"{self.lanes_per_group}-lane groups with comparison threshold"
+        )

@@ -1,0 +1,235 @@
+"""Vector dot-product — the non-ideal PIM workload.
+
+Section 4: an ``N``-element dot-product starts with ``N`` parallel
+multiplications, but "all products must be added together to produce the
+final sum. This requires read and write operations to move bits scattered
+across parallel lanes into the very same lane."
+
+We map one element per lane and reduce with a binary tree: at round ``s``
+the upper half of the surviving lanes read their partial sums out and the
+lower half receive and add them. Partial sums therefore funnel into
+low-index lanes — producing the low-address hot stripe of Fig. 16
+("dot-product heavily uses columns at low addresses, as partial sums are
+repeatedly moved to lower addresses to perform the reduction sum").
+
+The paper's benchmark instance: 1024-element vectors of 32-bit operands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.array.architecture import PIMArchitecture
+from repro.gates.library import GateLibrary
+from repro.synth.adders import ripple_carry_add
+from repro.synth.bits import AllocationPolicy
+from repro.synth.analysis import adder_counts, multiplier_counts
+from repro.synth.multiplier import multiply
+from repro.synth.program import LaneProgram, LaneProgramBuilder
+from repro.workloads.base import Phase, Workload, WorkloadMapping
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class DotProduct(Workload):
+    """Dot-product of two ``n_elements`` vectors of ``bits``-bit operands.
+
+    Args:
+        n_elements: Vector length; a power of two no larger than the lane
+            count (the paper uses 1024).
+        bits: Operand precision (the paper uses 32).
+        allocation_policy: Workspace reuse policy (``RING`` matches the
+            paper's simulator; see :class:`~repro.synth.bits.AllocationPolicy`).
+        workspace_limit: Optional cap on the logical bits per lane
+            (Fig. 4's dedicated-workspace layout).
+    """
+
+    def __init__(
+        self,
+        n_elements: int = 1024,
+        bits: int = 32,
+        allocation_policy: AllocationPolicy = AllocationPolicy.RING,
+        workspace_limit: "int | None" = None,
+    ) -> None:
+        if not _is_power_of_two(n_elements) or n_elements < 2:
+            raise ValueError("n_elements must be a power of two >= 2")
+        if bits < 2:
+            raise ValueError("bits must be at least 2")
+        if workspace_limit is not None and workspace_limit < 1:
+            raise ValueError("workspace_limit must be positive")
+        self.n_elements = n_elements
+        self.bits = bits
+        self.allocation_policy = allocation_policy
+        self.workspace_limit = workspace_limit
+        self.rounds = n_elements.bit_length() - 1
+        self.name = f"dot-product-{n_elements}x{bits}b"
+
+    # ------------------------------------------------------------------
+    # Role geometry
+    # ------------------------------------------------------------------
+
+    def send_round(self, lane: int) -> int:
+        """The reduction round at which ``lane`` ships its partial sum.
+
+        Lane ``j >= 1`` sends at the unique round ``s`` with
+        ``N/2^s <= j < N/2^(s-1)``; lane 0 (the root) never sends.
+        """
+        if not 0 < lane < self.n_elements:
+            raise ValueError(f"lane {lane} out of range or is the root")
+        return self.rounds - lane.bit_length() + 1
+
+    def receive_rounds(self, lane: int) -> int:
+        """How many partial sums ``lane`` receives before it is done."""
+        if lane == 0:
+            return self.rounds
+        return self.send_round(lane) - 1
+
+    def partial_width(self, after_receives: int) -> int:
+        """Partial-sum width after ``after_receives`` tree additions."""
+        return 2 * self.bits + after_receives
+
+    # ------------------------------------------------------------------
+    # Program construction
+    # ------------------------------------------------------------------
+
+    def _build_role_program(
+        self,
+        library: GateLibrary,
+        capacity: int,
+        receives: int,
+        is_root: bool,
+        tag_of: "Mapping[int, str] | None" = None,
+        send_tag: "str | None" = None,
+        policy: "AllocationPolicy | None" = None,
+    ) -> LaneProgram:
+        """One lane's full-iteration program.
+
+        Args:
+            library: Gate library.
+            capacity: Lane height.
+            receives: Number of tree additions this lane performs.
+            is_root: Whether this is lane 0 (keeps and reads out the sum).
+            tag_of: Receive-round -> transfer tag. Canonical (shared) role
+                programs use generic tags; functionally wired instances use
+                per-lane-pair tags.
+            send_tag: Tag to ship the final partial under (non-root only).
+        """
+        suffix = "root" if is_root else f"send-after-{receives}"
+        builder = LaneProgramBuilder(
+            library,
+            capacity=capacity,
+            name=f"dp-{suffix}",
+            policy=policy or AllocationPolicy.LOWEST_FIRST,
+        )
+        a = builder.input_vector("a", self.bits)
+        b = builder.input_vector("b", self.bits)
+        # Operand cells are dedicated (Fig. 4); partial sums are freed as
+        # the reduction consumes them.
+        current = multiply(builder, a, b)
+        for r in range(1, receives + 1):
+            tag = tag_of[r] if tag_of is not None else f"partial-r{r}"
+            incoming = builder.receive_vector(tag, current.width)
+            current = ripple_carry_add(builder, current, incoming, free_inputs=True)
+        if is_root:
+            builder.mark_output("sum", current)
+            builder.read_out(current, tag="sum")
+        else:
+            builder.send_vector(current, send_tag or "partial-out")
+        return builder.finish()
+
+    def build(self, architecture: PIMArchitecture) -> WorkloadMapping:
+        n = self.n_elements
+        if n > architecture.lane_count:
+            raise ValueError(
+                f"{n} elements exceed {architecture.lane_count} lanes"
+            )
+        library = architecture.library
+        capacity = architecture.lane_size - 1  # reserve the Hw spare bit
+        if self.workspace_limit is not None:
+            capacity = min(capacity, self.workspace_limit)
+
+        # Canonical role programs: the root, plus one per send round.
+        root = self._build_role_program(
+            library, capacity, self.rounds, True, policy=self.allocation_policy
+        )
+        senders = {
+            s: self._build_role_program(
+                library, capacity, s - 1, False, policy=self.allocation_policy
+            )
+            for s in range(1, self.rounds + 1)
+        }
+        assignment: Dict[int, LaneProgram] = {0: root}
+        for lane in range(1, n):
+            assignment[lane] = senders[self.send_round(lane)]
+
+        gate_slots = architecture.writes_per_gate
+        mult_gates = multiplier_counts(self.bits, library).gates
+        phases: List[Phase] = [
+            Phase("load-operands", 2 * self.bits, n),
+            Phase("multiply", mult_gates * gate_slots, n),
+        ]
+        for s in range(1, self.rounds + 1):
+            width = self.partial_width(s - 1)
+            movers = n >> s
+            add_gates = adder_counts(width, library).gates
+            phases.append(Phase(f"round{s}-read", width, movers))
+            phases.append(Phase(f"round{s}-write", width, movers))
+            phases.append(Phase(f"round{s}-add", add_gates * gate_slots, movers))
+        phases.append(Phase("read-out", self.partial_width(self.rounds), 1))
+
+        return WorkloadMapping(
+            workload_name=self.name,
+            architecture=architecture,
+            assignment=assignment,
+            phases=phases,
+        )
+
+    # ------------------------------------------------------------------
+    # Functionally wired instance (used to verify correctness end-to-end)
+    # ------------------------------------------------------------------
+
+    def build_functional(
+        self, library: GateLibrary, capacity: "int | None" = None
+    ) -> Tuple[Dict[int, LaneProgram], List[int]]:
+        """Per-lane programs with unique transfer tags, plus the evaluation
+        order (descending lanes: every sender precedes its receiver).
+
+        Feed the result to :func:`repro.workloads.base.evaluate_networked`
+        with operands ``{lane: {"a": ..., "b": ...}}``; lane 0's ``sum``
+        output is the dot product.
+        """
+        n = self.n_elements
+
+        def tag(s: int, receiver: int) -> str:
+            return f"dp-s{s}-to{receiver}"
+
+        programs: Dict[int, LaneProgram] = {}
+        for lane in range(n):
+            if lane == 0:
+                tags = {s: tag(s, 0) for s in range(1, self.rounds + 1)}
+                programs[0] = self._build_role_program(
+                    library, capacity or 10**9, self.rounds, True, tag_of=tags
+                )
+            else:
+                s_send = self.send_round(lane)
+                receiver = lane - (n >> s_send)
+                tags = {s: tag(s, lane) for s in range(1, s_send)}
+                programs[lane] = self._build_role_program(
+                    library,
+                    capacity or 10**9,
+                    s_send - 1,
+                    False,
+                    tag_of=tags,
+                    send_tag=tag(s_send, receiver),
+                )
+        order = list(range(n - 1, -1, -1))
+        return programs, order
+
+    def describe(self) -> str:
+        return (
+            f"{self.n_elements}-element dot-product of {self.bits}-bit "
+            f"operands; binary-tree reduction into low lanes "
+            f"({self.rounds} rounds)"
+        )

@@ -1,0 +1,112 @@
+"""Matrix-vector product: batched dot-products (a fully-connected layer).
+
+The paper's introduction motivates PIM with neural-network inference;
+a fully-connected layer is one dot-product per output neuron. This
+workload tiles the array with independent dot-product groups: each group
+of ``elements_per_row`` lanes computes one row of ``W @ x`` using the
+dot-product reduction tree, so the array hosts
+``lane_count / elements_per_row`` output neurons per iteration.
+
+Wear-wise it interpolates between the paper's extremes: within each group
+the dot-product's low-lane hot stripe appears, and the stripes repeat with
+period ``elements_per_row`` across the array — a multi-scale version of
+the convolution's every-fourth-column pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.array.architecture import PIMArchitecture
+from repro.synth.bits import AllocationPolicy
+from repro.synth.program import LaneProgram
+from repro.workloads.base import Phase, Workload, WorkloadMapping
+from repro.workloads.dotproduct import DotProduct
+
+
+class MatrixVectorProduct(Workload):
+    """``W @ x`` with one dot-product group per output row.
+
+    Args:
+        elements_per_row: Dot-product length per output neuron (a power of
+            two; also the lane-group size).
+        bits: Operand precision.
+        allocation_policy: Workspace reuse policy.
+        workspace_limit: Optional cap on logical bits per lane.
+    """
+
+    def __init__(
+        self,
+        elements_per_row: int = 64,
+        bits: int = 8,
+        allocation_policy: AllocationPolicy = AllocationPolicy.RING,
+        workspace_limit: "int | None" = None,
+    ) -> None:
+        # Parameter validation is delegated to the underlying DotProduct.
+        self._dot = DotProduct(
+            n_elements=elements_per_row,
+            bits=bits,
+            allocation_policy=allocation_policy,
+            workspace_limit=workspace_limit,
+        )
+        self.elements_per_row = elements_per_row
+        self.bits = bits
+        self.name = f"matvec-{elements_per_row}x{bits}b"
+
+    @property
+    def allocation_policy(self) -> AllocationPolicy:
+        """Workspace policy (delegated to the underlying dot-product)."""
+        return self._dot.allocation_policy
+
+    @allocation_policy.setter
+    def allocation_policy(self, policy: AllocationPolicy) -> None:
+        from copy import copy
+
+        # Rebind rather than mutate: the inner DotProduct may be shared
+        # with a sibling copy (e.g. core.failure.minimum_footprint).
+        rebound = copy(self._dot)
+        rebound.allocation_policy = policy
+        self._dot = rebound
+
+    def rows_hosted(self, architecture: PIMArchitecture) -> int:
+        """Output rows computed per iteration on ``architecture``."""
+        return architecture.lane_count // self.elements_per_row
+
+    def build(self, architecture: PIMArchitecture) -> WorkloadMapping:
+        groups = self.rows_hosted(architecture)
+        if groups == 0:
+            raise ValueError(
+                f"need at least {self.elements_per_row} lanes, "
+                f"have {architecture.lane_count}"
+            )
+        base = self._dot.build(architecture)
+
+        assignment: Dict[int, LaneProgram] = {}
+        for group in range(groups):
+            offset = group * self.elements_per_row
+            for lane, program in base.assignment.items():
+                assignment[offset + lane] = program
+
+        # The schedule is the dot-product's with every phase's active-lane
+        # count multiplied by the number of groups (groups run in lock-step;
+        # their roles align, so the same gates fire simultaneously).
+        phases: List[Phase] = [
+            Phase(phase.name, phase.steps, phase.active_lanes * groups)
+            for phase in base.phases
+        ]
+        return WorkloadMapping(
+            workload_name=self.name,
+            architecture=architecture,
+            assignment=assignment,
+            phases=phases,
+        )
+
+    def build_functional_group(self, library, capacity=None):
+        """One wired group (see :meth:`DotProduct.build_functional`)."""
+        return self._dot.build_functional(library, capacity)
+
+    def describe(self) -> str:
+        return (
+            f"matrix-vector product: one {self.elements_per_row}-element, "
+            f"{self.bits}-bit dot-product group per output row"
+        )

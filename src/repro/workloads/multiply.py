@@ -1,0 +1,102 @@
+"""Embarrassingly parallel multiplication — the ideal PIM workload.
+
+Section 4: "a simple parallel integer multiplication of 32-bit operands.
+A single multiplication is performed within each lane ... There is no
+communication between lanes, and all lanes are utilized. Hence, there
+should be no imbalance between lanes. However, the multiplication
+algorithm (DADDA multiplier) may have imbalanced usage within each lane."
+"""
+
+from __future__ import annotations
+
+from repro.array.architecture import PIMArchitecture
+from repro.synth.bits import AllocationPolicy
+from repro.synth.multiplier import multiply
+from repro.synth.program import LaneProgram, LaneProgramBuilder
+from repro.workloads.base import Phase, Workload, WorkloadMapping
+
+
+class ParallelMultiplication(Workload):
+    """One independent ``bits``-wide multiplication per lane.
+
+    Args:
+        bits: Operand precision (the paper uses 32).
+        lanes: Number of lanes to use (defaults to all).
+        allocation_policy: Workspace reuse policy. The default ``RING``
+            matches the paper's simulator (workspace writes sweep the whole
+            lane); ``LOWEST_FIRST`` is the compact-footprint ablation.
+        workspace_limit: Cap on the logical bits the program may occupy
+            (Fig. 4's dedicated-workspace layout). ``None`` lets the
+            workspace sweep the whole lane; smaller values concentrate
+            wear and raise the payoff of load balancing (ablation E15).
+    """
+
+    def __init__(
+        self,
+        bits: int = 32,
+        lanes: "int | None" = None,
+        allocation_policy: AllocationPolicy = AllocationPolicy.RING,
+        workspace_limit: "int | None" = None,
+    ) -> None:
+        if bits < 2:
+            raise ValueError("bits must be at least 2")
+        if workspace_limit is not None and workspace_limit < 1:
+            raise ValueError("workspace_limit must be positive")
+        self.bits = bits
+        self.lanes = lanes
+        self.allocation_policy = allocation_policy
+        self.workspace_limit = workspace_limit
+        self.name = f"multiplication-{bits}b"
+
+    def build_program(self, architecture: PIMArchitecture) -> LaneProgram:
+        """The canonical per-lane program: load, multiply, read out.
+
+        The lane reserves one spare bit (capacity ``lane_size - 1``) so
+        hardware re-mapping always has its free address (Section 3.2).
+        """
+        capacity = architecture.lane_size - 1
+        if self.workspace_limit is not None:
+            capacity = min(capacity, self.workspace_limit)
+        builder = LaneProgramBuilder(
+            architecture.library,
+            capacity=capacity,
+            name=f"mult{self.bits}",
+            policy=self.allocation_policy,
+        )
+        a = builder.input_vector("a", self.bits)
+        b = builder.input_vector("b", self.bits)
+        # Operands occupy dedicated cells written once per iteration
+        # (Fig. 4's layout); only the workspace churns.
+        product = multiply(builder, a, b)
+        builder.mark_output("product", product)
+        builder.read_out(product, tag="product")
+        return builder.finish()
+
+    def build(self, architecture: PIMArchitecture) -> WorkloadMapping:
+        lane_count = architecture.lane_count
+        lanes = lane_count if self.lanes is None else self.lanes
+        if not 0 < lanes <= lane_count:
+            raise ValueError(
+                f"cannot place {lanes} multiplications on {lane_count} lanes"
+            )
+        program = self.build_program(architecture)
+        assignment = {lane: program for lane in range(lanes)}
+        gate_slots = architecture.writes_per_gate  # pre-set adds one slot
+        phases = [
+            Phase("load-operands", 2 * self.bits, lanes),
+            Phase("multiply", program.gate_count * gate_slots, lanes),
+            Phase("read-out", 2 * self.bits, lanes),
+        ]
+        return WorkloadMapping(
+            workload_name=self.name,
+            architecture=architecture,
+            assignment=assignment,
+            phases=phases,
+        )
+
+    def describe(self) -> str:
+        lanes = "all" if self.lanes is None else str(self.lanes)
+        return (
+            f"embarrassingly parallel {self.bits}-bit multiplication "
+            f"({lanes} lanes, no inter-lane communication)"
+        )

@@ -1,0 +1,33 @@
+"""Shared fixtures: small architectures that keep tests fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.array.architecture import CRAM_COLUMN, PINATUBO, default_architecture
+
+
+@pytest.fixture
+def small_arch():
+    """A 128x128 CRAM-style column-parallel array (presets on)."""
+    return default_architecture(128, 128)
+
+
+@pytest.fixture
+def tiny_arch():
+    """A 64x64 CRAM-style array for the cheapest checks."""
+    return default_architecture(64, 64)
+
+
+@pytest.fixture
+def sense_amp_arch():
+    """A 128x128 Pinatubo-style array (sense amps, no presets)."""
+    return PINATUBO.resized(128, 128)
+
+
+@pytest.fixture
+def row_parallel_arch():
+    """A 128x128 row-parallel CRAM-2T array."""
+    from repro.array.architecture import CRAM_ROW
+
+    return CRAM_ROW.resized(128, 128)

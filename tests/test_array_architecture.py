@@ -1,0 +1,58 @@
+"""Tests for repro.array.architecture."""
+
+from repro.array.architecture import (
+    CRAM_COLUMN,
+    CRAM_ROW,
+    MAGIC_RRAM,
+    PINATUBO,
+    LogicStyle,
+    default_architecture,
+)
+from repro.array.geometry import Orientation
+from repro.devices.technology import MRAM, RRAM
+
+
+class TestPresets:
+    def test_default_matches_paper_evaluation(self):
+        # Section 4: 1024x1024, column-parallel, CRAM-style presets, MTJ.
+        arch = default_architecture()
+        assert arch.geometry.rows == 1024
+        assert arch.geometry.cols == 1024
+        assert arch.orientation is Orientation.COLUMN_PARALLEL
+        assert arch.presets_output
+        assert arch.technology == MRAM
+
+    def test_pinatubo_uses_sense_amps_without_presets(self):
+        assert PINATUBO.logic_style is LogicStyle.SENSE_AMP
+        assert not PINATUBO.presets_output
+        assert PINATUBO.writes_per_gate == 1
+
+    def test_cram_presets_double_gate_writes(self):
+        assert CRAM_COLUMN.writes_per_gate == 2
+
+    def test_cram_row_is_row_parallel(self):
+        assert CRAM_ROW.orientation is Orientation.ROW_PARALLEL
+
+    def test_magic_is_nor_native_on_rram(self):
+        assert MAGIC_RRAM.library.name == "nor"
+        assert MAGIC_RRAM.technology == RRAM
+
+
+class TestDerivedProperties:
+    def test_lane_count_and_size_follow_orientation(self):
+        arch = CRAM_COLUMN.resized(512, 256)
+        assert arch.lane_count == 256  # columns
+        assert arch.lane_size == 512  # rows
+        row_arch = CRAM_ROW.resized(512, 256)
+        assert row_arch.lane_count == 512
+        assert row_arch.lane_size == 256
+
+    def test_resized_preserves_other_fields(self):
+        arch = CRAM_COLUMN.resized(64, 64)
+        assert arch.presets_output == CRAM_COLUMN.presets_output
+        assert arch.library is CRAM_COLUMN.library
+
+    def test_with_technology(self):
+        arch = CRAM_COLUMN.with_technology(RRAM)
+        assert arch.technology == RRAM
+        assert arch.geometry == CRAM_COLUMN.geometry

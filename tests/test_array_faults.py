@@ -1,0 +1,131 @@
+"""Tests for repro.array.faults (Section 3.3 / Fig. 11)."""
+
+import numpy as np
+import pytest
+
+from repro.array.faults import (
+    expected_usable_fraction,
+    plan_lane_sets,
+    usable_fraction_curve,
+    usable_offsets,
+)
+from repro.array.geometry import ArrayGeometry, Orientation
+
+
+class TestUsableOffsets:
+    def test_single_failure_kills_offset_in_all_lanes(self):
+        # Fig. 11a: one failed cell removes that address from every lane.
+        failed = np.zeros((4, 6), dtype=bool)
+        failed[2, 3] = True  # row 2, col 3
+        usable = usable_offsets(failed, Orientation.COLUMN_PARALLEL)
+        assert usable.tolist() == [True, True, False, True]
+
+    def test_row_parallel_uses_columns_as_offsets(self):
+        failed = np.zeros((4, 6), dtype=bool)
+        failed[2, 3] = True
+        usable = usable_offsets(failed, Orientation.ROW_PARALLEL)
+        assert usable.sum() == 5
+        assert not usable[3]
+
+    def test_no_failures_everything_usable(self):
+        failed = np.zeros((4, 4), dtype=bool)
+        assert usable_offsets(failed, Orientation.COLUMN_PARALLEL).all()
+
+    def test_non_boolean_mask_rejected(self):
+        with pytest.raises(ValueError):
+            usable_offsets(np.zeros((2, 2)), Orientation.COLUMN_PARALLEL)
+
+
+class TestExpectedUsableFraction:
+    def test_analytic_formula(self):
+        assert expected_usable_fraction(0.0, 100) == pytest.approx(1.0)
+        assert expected_usable_fraction(0.01, 100) == pytest.approx(0.99**100)
+
+    def test_collapse_is_rapid_at_paper_scale(self):
+        # At 0.5% failed cells on a 1024-lane array, under 1% of offsets
+        # survive — the Section 3.3 point that "even a few cell failures
+        # can significantly disrupt operation".
+        assert expected_usable_fraction(0.005, 1024) < 0.01
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            expected_usable_fraction(1.5, 10)
+
+    def test_vectorized(self):
+        result = expected_usable_fraction(np.array([0.0, 0.1]), 2)
+        assert np.allclose(result, [1.0, 0.81])
+
+
+class TestMonteCarloCurve:
+    def test_matches_analytic_at_moderate_scale(self):
+        geometry = ArrayGeometry(128, 128)
+        fractions = [0.0, 0.001, 0.005, 0.02]
+        measured = usable_fraction_curve(
+            geometry, Orientation.COLUMN_PARALLEL, fractions, trials=6, rng=0
+        )
+        analytic = expected_usable_fraction(np.array(fractions), 128)
+        assert np.allclose(measured, analytic, atol=0.06)
+
+    def test_monotone_decreasing(self):
+        geometry = ArrayGeometry(64, 64)
+        measured = usable_fraction_curve(
+            geometry, Orientation.COLUMN_PARALLEL,
+            [0.0, 0.01, 0.05, 0.2], trials=4, rng=1,
+        )
+        assert all(a >= b for a, b in zip(measured, measured[1:]))
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            usable_fraction_curve(
+                ArrayGeometry(8, 8), Orientation.COLUMN_PARALLEL, [2.0]
+            )
+
+
+class TestLaneSets:
+    def _mask_with_failures(self, rows, cols, cells):
+        failed = np.zeros((rows, cols), dtype=bool)
+        for row, col in cells:
+            failed[row, col] = True
+        return failed
+
+    def test_partition_recovers_usable_offsets(self):
+        # Two lanes fail at offset 2, two at offset 5; splitting into two
+        # sets that separate them recovers offsets in each set.
+        failed = self._mask_with_failures(
+            8, 4, [(2, 0), (2, 1), (5, 2), (5, 3)]
+        )
+        whole = usable_offsets(failed, Orientation.COLUMN_PARALLEL).sum()
+        plan = plan_lane_sets(failed, Orientation.COLUMN_PARALLEL, n_sets=2)
+        assert whole == 6
+        assert plan.min_usable >= 7
+        assert plan.latency_multiplier == 2
+
+    def test_all_lanes_covered_exactly_once(self):
+        failed = np.zeros((8, 6), dtype=bool)
+        plan = plan_lane_sets(failed, Orientation.COLUMN_PARALLEL, n_sets=3)
+        lanes = sorted(lane for group in plan.sets for lane in group)
+        assert lanes == list(range(6))
+
+    def test_more_sets_never_reduce_min_usable(self):
+        rng = np.random.default_rng(0)
+        failed = rng.random((32, 16)) < 0.05
+        previous = -1
+        for n_sets in (1, 2, 4):
+            plan = plan_lane_sets(failed, Orientation.COLUMN_PARALLEL, n_sets)
+            total_usable = sum(plan.usable_per_set)
+            assert total_usable >= previous
+            previous = total_usable
+
+    def test_too_many_sets_rejected(self):
+        failed = np.zeros((4, 2), dtype=bool)
+        with pytest.raises(ValueError, match="cannot split"):
+            plan_lane_sets(failed, Orientation.COLUMN_PARALLEL, n_sets=3)
+
+    def test_invalid_inputs_rejected(self):
+        failed = np.zeros((4, 4), dtype=bool)
+        with pytest.raises(ValueError):
+            plan_lane_sets(failed, Orientation.COLUMN_PARALLEL, n_sets=0)
+        with pytest.raises(ValueError):
+            plan_lane_sets(
+                failed.astype(float), Orientation.COLUMN_PARALLEL, n_sets=1
+            )

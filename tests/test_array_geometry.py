@@ -1,0 +1,65 @@
+"""Tests for repro.array.geometry."""
+
+import pytest
+
+from repro.array.geometry import ArrayGeometry, Orientation
+
+
+class TestGeometry:
+    def test_default_is_paper_size(self):
+        geometry = ArrayGeometry()
+        assert (geometry.rows, geometry.cols) == (1024, 1024)
+        assert geometry.n_cells == 1024 * 1024
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayGeometry(0, 4)
+        with pytest.raises(ValueError):
+            ArrayGeometry(4, -1)
+
+    def test_column_parallel_lane_counts(self):
+        geometry = ArrayGeometry(8, 16)
+        assert geometry.lane_count(Orientation.COLUMN_PARALLEL) == 16
+        assert geometry.lane_size(Orientation.COLUMN_PARALLEL) == 8
+
+    def test_row_parallel_lane_counts(self):
+        geometry = ArrayGeometry(8, 16)
+        assert geometry.lane_count(Orientation.ROW_PARALLEL) == 8
+        assert geometry.lane_size(Orientation.ROW_PARALLEL) == 16
+
+
+class TestAddressing:
+    def test_column_parallel_cell_of(self):
+        geometry = ArrayGeometry(8, 16)
+        # lane = column, offset = row
+        assert geometry.cell_of(3, 5, Orientation.COLUMN_PARALLEL) == (5, 3)
+
+    def test_row_parallel_cell_of(self):
+        geometry = ArrayGeometry(8, 16)
+        assert geometry.cell_of(3, 5, Orientation.ROW_PARALLEL) == (3, 5)
+
+    @pytest.mark.parametrize("orientation", list(Orientation))
+    def test_round_trip(self, orientation):
+        geometry = ArrayGeometry(4, 6)
+        for lane in range(geometry.lane_count(orientation)):
+            for offset in range(geometry.lane_size(orientation)):
+                row, col = geometry.cell_of(lane, offset, orientation)
+                assert geometry.lane_address_of(row, col, orientation) == (
+                    lane,
+                    offset,
+                )
+
+    def test_out_of_range_lane_rejected(self):
+        geometry = ArrayGeometry(4, 4)
+        with pytest.raises(IndexError):
+            geometry.cell_of(4, 0, Orientation.COLUMN_PARALLEL)
+
+    def test_out_of_range_offset_rejected(self):
+        geometry = ArrayGeometry(4, 4)
+        with pytest.raises(IndexError):
+            geometry.cell_of(0, 4, Orientation.COLUMN_PARALLEL)
+
+    def test_out_of_range_physical_rejected(self):
+        geometry = ArrayGeometry(4, 4)
+        with pytest.raises(IndexError):
+            geometry.lane_address_of(4, 0, Orientation.COLUMN_PARALLEL)

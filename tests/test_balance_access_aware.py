@@ -1,0 +1,96 @@
+"""Tests for repro.balance.access_aware (Table 2)."""
+
+import pytest
+
+from repro.balance.access_aware import (
+    build_shuffled_multiply,
+    shuffle_copy_gates,
+    shuffle_overhead_percent,
+    table2_rows,
+)
+from repro.gates.library import MINIMAL_LIBRARY, NAND_LIBRARY
+from repro.synth.analysis import multiplier_counts
+
+
+class TestCopyCounts:
+    def test_multiply_needs_4b_copies(self):
+        # Section 3.2: 2b for inputs, 2b for the double-width output.
+        assert shuffle_copy_gates("multiply", 32) == 128
+
+    def test_add_needs_3b_plus_1_copies(self):
+        assert shuffle_copy_gates("add", 32) == 97
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError, match="operation"):
+            shuffle_copy_gates("divide", 8)
+
+    def test_tiny_width_rejected(self):
+        with pytest.raises(ValueError):
+            shuffle_copy_gates("multiply", 1)
+
+
+class TestTable2:
+    # The paper's Table 2, to two decimals.
+    PAPER = {
+        4: (25.0, 76.47),
+        8: (10.0, 67.57),
+        16: (4.55, 63.64),
+        32: (2.17, 61.78),
+        64: (1.06, 60.88),
+    }
+
+    @pytest.mark.parametrize("bits", sorted(PAPER))
+    def test_multiplication_overhead(self, bits):
+        expected, _ = self.PAPER[bits]
+        assert shuffle_overhead_percent("multiply", bits) == pytest.approx(
+            expected, abs=0.01
+        )
+
+    @pytest.mark.parametrize("bits", sorted(PAPER))
+    def test_addition_overhead(self, bits):
+        _, expected = self.PAPER[bits]
+        assert shuffle_overhead_percent("add", bits) == pytest.approx(
+            expected, abs=0.01
+        )
+
+    def test_table2_rows_structure(self):
+        rows = table2_rows()
+        assert [bits for bits, _, _ in rows] == [4, 8, 16, 32, 64]
+        for bits, mult, add in rows:
+            paper_mult, paper_add = self.PAPER[bits]
+            assert mult == pytest.approx(paper_mult, abs=0.01)
+            assert add == pytest.approx(paper_add, abs=0.01)
+
+    def test_overhead_shrinks_with_precision_for_multiply(self):
+        values = [shuffle_overhead_percent("multiply", b) for b in (4, 8, 16, 32)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_addition_overhead_approaches_60_percent(self):
+        # (3b+1)/(5b-3) -> 3/5 as b grows.
+        assert shuffle_overhead_percent("add", 1024) == pytest.approx(60.0, abs=0.2)
+
+    def test_non_native_copy_doubles_overhead(self):
+        # NOT-based copies cost twice the gates (footnote 5: "8 x b NOT").
+        minimal = shuffle_overhead_percent("multiply", 32, MINIMAL_LIBRARY)
+        # Compare copy gate counts directly since NAND's compute gates differ.
+        assert NAND_LIBRARY.copy_gate_cost == 2 * MINIMAL_LIBRARY.copy_gate_cost
+        assert minimal > 0
+
+
+class TestShuffledProgram:
+    @pytest.mark.parametrize("bits", [4, 8])
+    def test_gate_overhead_is_exactly_the_copy_cost(self, bits):
+        for library in (MINIMAL_LIBRARY, NAND_LIBRARY):
+            program = build_shuffled_multiply(library, bits)
+            plain = multiplier_counts(bits, library).gates
+            copies = shuffle_copy_gates("multiply", bits) * library.copy_gate_cost
+            assert program.gate_count == plain + copies
+
+    @pytest.mark.parametrize("bits", [3, 4])
+    def test_shuffled_multiply_still_multiplies(self, bits):
+        for library in (MINIMAL_LIBRARY, NAND_LIBRARY):
+            program = build_shuffled_multiply(library, bits)
+            for x in range(2**bits):
+                for y in range(2**bits):
+                    outputs, _ = program.evaluate({"a": x, "b": y})
+                    assert outputs["p" if "p" in outputs else "product"] == x * y

@@ -1,0 +1,113 @@
+"""Tests for repro.balance.access_cost (the Fig. 8 argument)."""
+
+import numpy as np
+import pytest
+
+from repro.array.geometry import Orientation
+from repro.balance.access_cost import (
+    access_cost_table,
+    bytes_touched,
+    expected_random_bytes,
+    variable_access_cost,
+)
+from repro.balance.software import StrategyKind
+
+
+class TestBytesTouched:
+    def test_aligned_word(self):
+        assert bytes_touched(np.arange(32)) == 4
+
+    def test_scattered_bits(self):
+        assert bytes_touched(np.array([0, 8, 16, 24])) == 4
+
+    def test_empty(self):
+        assert bytes_touched(np.array([], dtype=int)) == 0
+
+
+class TestVariableAccessCost:
+    def test_column_parallel_is_always_b(self):
+        # Fig. 8: column-parallel reads bits serially regardless of layout.
+        for strategy in StrategyKind:
+            cost = variable_access_cost(
+                strategy, Orientation.COLUMN_PARALLEL, 32, 1024, rng=0
+            )
+            assert cost == 32
+
+    def test_row_parallel_static_is_byte_aligned(self):
+        cost = variable_access_cost(
+            StrategyKind.STATIC, Orientation.ROW_PARALLEL, 32, 1024
+        )
+        assert cost == 4  # 32 bits = 4 bytes
+
+    def test_row_parallel_byte_shift_stays_aligned(self):
+        # Byte shifting preserves byte alignment — the whole point of the
+        # paper's constraint.
+        for epoch in (1, 5, 77):
+            cost = variable_access_cost(
+                StrategyKind.BYTE_SHIFT, Orientation.ROW_PARALLEL,
+                32, 1024, epoch=epoch,
+            )
+            assert cost == 4
+
+    def test_row_parallel_random_scatters(self):
+        costs = [
+            variable_access_cost(
+                StrategyKind.RANDOM, Orientation.ROW_PARALLEL,
+                32, 1024, rng=seed,
+            )
+            for seed in range(10)
+        ]
+        assert min(costs) > 10  # far worse than the aligned 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            variable_access_cost(
+                StrategyKind.STATIC, Orientation.ROW_PARALLEL, 0, 64
+            )
+        with pytest.raises(ValueError):
+            variable_access_cost(
+                StrategyKind.STATIC, Orientation.ROW_PARALLEL, 65, 64
+            )
+
+
+class TestExpectedRandomBytes:
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        samples = [
+            bytes_touched(rng.permutation(1024)[:32]) for _ in range(400)
+        ]
+        expected = expected_random_bytes(32, 1024)
+        assert expected == pytest.approx(np.mean(samples), rel=0.03)
+
+    def test_paper_scale_amplification(self):
+        # 32 bits in a 1024-bit lane: ~28 bytes touched vs 4 aligned — the
+        # ~7x read amplification that makes Ra memory-unfriendly in
+        # row-parallel designs.
+        expected = expected_random_bytes(32, 1024)
+        assert 26 < expected < 31
+        assert expected / 4 > 6
+
+    def test_degenerate_full_lane(self):
+        assert expected_random_bytes(64, 64) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_random_bytes(0, 64)
+        with pytest.raises(ValueError):
+            expected_random_bytes(8, 60)  # not a whole number of bytes
+
+
+class TestAccessCostTable:
+    def test_structure_and_ordering(self):
+        rows = access_cost_table(bits=32, lane_size=1024, trials=16, rng=0)
+        by_key = {(s, o): c for s, o, c in rows}
+        # Column-parallel: all strategies identical.
+        assert (
+            by_key[("St", "column")]
+            == by_key[("Bs", "column")]
+            == by_key[("Ra", "column")]
+            == 32
+        )
+        # Row-parallel: St == Bs << Ra.
+        assert by_key[("St", "row")] == by_key[("Bs", "row")] == 4
+        assert by_key[("Ra", "row")] > 20

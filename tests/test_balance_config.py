@@ -1,0 +1,66 @@
+"""Tests for repro.balance.config: the 18-configuration space."""
+
+import pytest
+
+from repro.balance.config import BalanceConfig, all_configurations
+from repro.balance.software import StrategyKind
+
+
+class TestLabels:
+    def test_label_format(self):
+        config = BalanceConfig(
+            within=StrategyKind.RANDOM,
+            between=StrategyKind.BYTE_SHIFT,
+            hardware=True,
+        )
+        assert config.label == "RaxBs+Hw"
+
+    def test_from_label_round_trip(self):
+        for config in all_configurations():
+            assert BalanceConfig.from_label(config.label) == config
+
+    def test_from_label_case_insensitive_hw(self):
+        assert BalanceConfig.from_label("stxst+HW").hardware
+
+    def test_bad_label_rejected(self):
+        with pytest.raises(ValueError, match="cannot parse"):
+            BalanceConfig.from_label("Static")
+
+
+class TestConfigurationSpace:
+    def test_exactly_18_configurations(self):
+        configs = all_configurations()
+        assert len(configs) == 18
+        assert len({config.label for config in configs}) == 18
+
+    def test_nine_per_hardware_setting(self):
+        configs = all_configurations()
+        assert sum(1 for c in configs if c.hardware) == 9
+        assert sum(1 for c in configs if not c.hardware) == 9
+
+    def test_first_configuration_is_static_baseline(self):
+        configs = all_configurations()
+        assert configs[0].is_static
+        assert configs[0].label == "StxSt"
+
+    def test_is_static_excludes_hardware(self):
+        assert not BalanceConfig(hardware=True).is_static
+
+    def test_needs_recompilation(self):
+        assert not BalanceConfig().needs_recompilation
+        assert BalanceConfig(within=StrategyKind.RANDOM).needs_recompilation
+        assert BalanceConfig(between=StrategyKind.BYTE_SHIFT).needs_recompilation
+        # Hardware-only re-mapping needs no recompiles (Section 4).
+        assert not BalanceConfig(hardware=True).needs_recompilation
+
+    def test_with_interval(self):
+        config = BalanceConfig().with_interval(50)
+        assert config.recompile_interval == 50
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            BalanceConfig(recompile_interval=0)
+
+    def test_custom_interval_propagates_to_all(self):
+        for config in all_configurations(recompile_interval=500):
+            assert config.recompile_interval == 500

@@ -1,0 +1,72 @@
+"""Tests for repro.balance.mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.balance.mapping import (
+    byte_shift_permutation,
+    identity_permutation,
+    invert_permutation,
+    random_permutation,
+)
+
+
+class TestIdentity:
+    def test_identity(self):
+        assert identity_permutation(4).tolist() == [0, 1, 2, 3]
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            identity_permutation(0)
+
+
+class TestRandom:
+    def test_is_a_permutation(self):
+        perm = random_permutation(100, rng=0)
+        assert sorted(perm.tolist()) == list(range(100))
+
+    def test_reproducible_with_seed(self):
+        assert np.array_equal(random_permutation(50, rng=7), random_permutation(50, rng=7))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            random_permutation(50, rng=1), random_permutation(50, rng=2)
+        )
+
+
+class TestByteShift:
+    def test_shift_moves_by_whole_bytes(self):
+        perm = byte_shift_permutation(32, shift_bytes=1)
+        assert perm[0] == 8
+        assert perm[31] == (31 + 8) % 32
+
+    def test_zero_shift_is_identity(self):
+        assert np.array_equal(byte_shift_permutation(16, 0), identity_permutation(16))
+
+    def test_wraps_around(self):
+        perm = byte_shift_permutation(16, shift_bytes=3)  # 24 mod 16 = 8
+        assert perm[0] == 8
+
+    @given(size=st.integers(1, 256), shift=st.integers(0, 100))
+    @settings(max_examples=50)
+    def test_always_a_permutation(self, size, shift):
+        perm = byte_shift_permutation(size, shift)
+        assert sorted(perm.tolist()) == list(range(size))
+
+    def test_shift_composition(self):
+        # Shifting twice by one byte equals shifting once by two bytes.
+        once = byte_shift_permutation(64, 1)
+        twice = once[byte_shift_permutation(64, 1)]
+        assert np.array_equal(twice, byte_shift_permutation(64, 2))
+
+
+class TestInvert:
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=25)
+    def test_inverse_round_trip(self, seed):
+        perm = random_permutation(64, rng=seed)
+        inverse = invert_permutation(perm)
+        assert np.array_equal(perm[inverse], np.arange(64))
+        assert np.array_equal(inverse[perm], np.arange(64))

@@ -1,0 +1,107 @@
+"""Tests for repro.balance.nvm_baselines."""
+
+import numpy as np
+import pytest
+
+from repro.balance.nvm_baselines import (
+    StartGapRemapper,
+    TableBasedRemapper,
+    pim_and_after_remap,
+)
+
+
+class TestStartGap:
+    def test_translation_is_injective(self):
+        remapper = StartGapRemapper(n_lines=16, gap_write_interval=4)
+        for _ in range(200):
+            physicals = [remapper.translate(l) for l in range(16)]
+            assert len(set(physicals)) == 16
+            assert remapper.gap not in physicals  # gap line stays unused
+            remapper.write(0)
+
+    def test_gap_traverses_and_start_advances(self):
+        remapper = StartGapRemapper(n_lines=4, gap_write_interval=1)
+        assert remapper.gap == 4
+        for _ in range(4):
+            remapper.write(0)
+        assert remapper.gap == 0
+        remapper.write(0)
+        assert remapper.gap == 4
+        assert remapper.start == 1
+
+    def test_levels_a_hot_line(self):
+        # A single hot logical line must end up spread over many physical
+        # lines — the whole point of Start-Gap.
+        remapper = StartGapRemapper(n_lines=16, gap_write_interval=8)
+        for _ in range(16 * 17 * 8 * 4):  # several full rotations
+            remapper.write(5)
+        touched = np.count_nonzero(remapper.physical_writes)
+        assert touched == 17
+
+    def test_gap_moves_cost_extra_writes(self):
+        remapper = StartGapRemapper(n_lines=4, gap_write_interval=2)
+        for _ in range(8):
+            remapper.write(1)
+        assert remapper.physical_writes.sum() > 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StartGapRemapper(1)
+        with pytest.raises(ValueError):
+            StartGapRemapper(4, gap_write_interval=0)
+        with pytest.raises(IndexError):
+            StartGapRemapper(4).translate(4)
+
+
+class TestTableBased:
+    def test_translation_initially_identity(self):
+        remapper = TableBasedRemapper(8)
+        assert [remapper.translate(l) for l in range(8)] == list(range(8))
+
+    def test_hot_line_gets_swapped_away(self):
+        remapper = TableBasedRemapper(8, swap_interval=10)
+        original = remapper.translate(3)
+        for _ in range(30):
+            remapper.write(3)
+        assert remapper.translate(3) != original
+
+    def test_mapping_stays_a_permutation(self):
+        remapper = TableBasedRemapper(8, swap_interval=5)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            remapper.write(int(rng.integers(0, 8)))
+            physicals = [remapper.translate(l) for l in range(8)]
+            assert sorted(physicals) == list(range(8))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TableBasedRemapper(1)
+        with pytest.raises(IndexError):
+            TableBasedRemapper(4).translate(-1)
+
+
+class TestFig6Misalignment:
+    def test_zero_shift_is_correct(self):
+        assert pim_and_after_remap(0b1010, 0b0110, 4, shift=0) == 0b1010 & 0b0110
+
+    @pytest.mark.parametrize("shift", [1, 2, 3])
+    def test_nonzero_shift_corrupts_some_input(self, shift):
+        # Fig. 6: for each misalignment there exists an operand pair whose
+        # in-memory AND is wrong — remapping that is safe for standard
+        # memory breaks PIM.
+        width = 4
+        broken = False
+        for x in range(16):
+            for y in range(16):
+                if pim_and_after_remap(x, y, width, shift) != (x & y):
+                    broken = True
+        assert broken
+
+    def test_full_wrap_shift_is_harmless(self):
+        assert pim_and_after_remap(0b1100, 0b1010, 4, shift=4) == 0b1100 & 0b1010
+
+    def test_operand_width_validation(self):
+        with pytest.raises(ValueError):
+            pim_and_after_remap(16, 0, 4, 0)
+        with pytest.raises(ValueError):
+            pim_and_after_remap(0, 0, 0, 0)

@@ -1,0 +1,111 @@
+"""Tests for the repro-endurance CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in (
+            "opcounts", "table2", "fig5", "heatmap", "fig17",
+            "table3", "lifetime", "fig11b", "remap-sweep",
+        ):
+            assert command in text
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCommands:
+    def test_opcounts_prints_paper_numbers(self, capsys):
+        assert main(["opcounts"]) == 0
+        out = capsys.readouterr().out
+        assert "9824" in out
+        assert "153.5x" in out
+
+    def test_table2(self, capsys):
+        main(["table2"])
+        out = capsys.readouterr().out
+        assert "61.78" in out
+
+    def test_fig5(self, capsys):
+        main(["--rows", "256", "--cols", "64", "fig5", "--bits", "8"])
+        out = capsys.readouterr().out
+        assert "Writes/cell" in out
+
+    def test_heatmap(self, capsys):
+        main([
+            "--rows", "256", "--cols", "128",
+            "heatmap", "--workload", "mult", "--config", "RaxSt",
+            "--iterations", "50",
+        ])
+        out = capsys.readouterr().out
+        assert "max" in out
+
+    def test_fig17_small(self, capsys):
+        main([
+            "--rows", "256", "--cols", "64",
+            "fig17", "--workload", "mult", "--iterations", "30",
+        ])
+        out = capsys.readouterr().out
+        assert "RaxBs+Hw" in out
+
+    def test_fig11b(self, capsys):
+        main(["--rows", "64", "--cols", "64", "fig11b", "--trials", "2"])
+        out = capsys.readouterr().out
+        assert "usable" in out.lower()
+
+    def test_lifetime(self, capsys):
+        main([
+            "--rows", "256", "--cols", "128",
+            "lifetime", "--technology", "RRAM", "--iterations", "50",
+        ])
+        out = capsys.readouterr().out
+        assert "Eq. 1 bound" in out
+        assert "RRAM" in out
+
+    def test_report(self, capsys):
+        main([
+            "--rows", "256", "--cols", "64",
+            "report", "--workload", "mult", "--config", "StxSt+Hw",
+            "--iterations", "20",
+        ])
+        out = capsys.readouterr().out
+        assert "Eq. 4 lifetime" in out
+        assert "PCM" in out
+
+    def test_export(self, capsys, tmp_path):
+        main([
+            "--rows", "256", "--cols", "64",
+            "export", "--workload", "mult", "--config", "RaxSt",
+            "--iterations", "20", "--out", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert "saved" in out
+        files = {p.suffix for p in tmp_path.iterdir()}
+        assert files == {".npz", ".csv", ".pgm"}
+
+    def test_switching(self, capsys):
+        main([
+            "--rows", "256", "--cols", "64",
+            "switching", "--bits", "8", "--samples", "4",
+        ])
+        out = capsys.readouterr().out
+        assert "switch fraction" in out
+
+    def test_deployment(self, capsys):
+        main([
+            "--rows", "256", "--cols", "64",
+            "deployment", "--iterations", "50", "--arrays", "16",
+        ])
+        out = capsys.readouterr().out
+        assert "Duty cycle" in out
+        assert "farm" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["heatmap", "--workload", "sorting"])

@@ -1,0 +1,91 @@
+"""Tests for repro.core.system: duty cycles and array farms."""
+
+import numpy as np
+import pytest
+
+from repro.core.lifetime import LifetimeEstimate
+from repro.core.system import ArrayFarm, lifetime_at_duty_cycle
+
+ESTIMATE = LifetimeEstimate(
+    iterations_to_failure=1e10,
+    seconds_to_failure=2_700_000.0,
+    max_writes_per_iteration=20.0,
+    endurance_writes=1e12,
+)
+
+
+class TestDutyCycle:
+    def test_full_duty_is_identity(self):
+        scaled = lifetime_at_duty_cycle(ESTIMATE, 1.0)
+        assert scaled == ESTIMATE
+
+    def test_one_percent_duty_stretches_100x(self):
+        scaled = lifetime_at_duty_cycle(ESTIMATE, 0.01)
+        assert scaled.seconds_to_failure == pytest.approx(
+            100 * ESTIMATE.seconds_to_failure
+        )
+        # Iteration budget is unchanged — only wall-clock stretches.
+        assert scaled.iterations_to_failure == ESTIMATE.iterations_to_failure
+
+    def test_embedded_contrast(self):
+        # The paper's conclusion: low duty cycles turn ~a month into years.
+        scaled = lifetime_at_duty_cycle(ESTIMATE, 0.01)
+        assert scaled.years_to_failure > 5
+
+    def test_invalid_duty_cycle_rejected(self):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                lifetime_at_duty_cycle(ESTIMATE, bad)
+
+
+class TestArrayFarm:
+    def test_zero_sigma_all_identical(self):
+        farm = ArrayFarm(16, sigma=0.0, rng=0)
+        lifetimes = farm.sample_lifetimes(ESTIMATE)
+        assert np.allclose(lifetimes, ESTIMATE.seconds_to_failure)
+
+    def test_replacement_horizon_ordering(self):
+        farm = ArrayFarm(256, sigma=0.3, rng=1)
+        summary = farm.replacement_horizon(ESTIMATE, failure_fraction=0.1)
+        assert (
+            summary.first_seconds
+            <= summary.horizon_seconds
+            <= summary.median_seconds
+        )
+        assert summary.n_arrays == 256
+
+    def test_larger_farms_fail_earlier_first(self):
+        # More arrays = a weaker weakest array (extreme-value effect).
+        small = ArrayFarm(8, sigma=0.3, rng=2).replacement_horizon(ESTIMATE)
+        large = ArrayFarm(4096, sigma=0.3, rng=2).replacement_horizon(ESTIMATE)
+        assert large.first_seconds < small.first_seconds
+
+    def test_reproducible_with_seed(self):
+        a = ArrayFarm(32, sigma=0.2, rng=5).replacement_horizon(ESTIMATE)
+        b = ArrayFarm(32, sigma=0.2, rng=5).replacement_horizon(ESTIMATE)
+        assert a.horizon_seconds == b.horizon_seconds
+
+    def test_duty_cycle_scales_horizon(self):
+        active = ArrayFarm(64, sigma=0.1, rng=3).replacement_horizon(
+            ESTIMATE, duty_cycle=1.0
+        )
+        idle = ArrayFarm(64, sigma=0.1, rng=3).replacement_horizon(
+            ESTIMATE, duty_cycle=0.1
+        )
+        assert idle.horizon_seconds == pytest.approx(
+            10 * active.horizon_seconds
+        )
+
+    def test_horizon_days_property(self):
+        summary = ArrayFarm(8, sigma=0.0, rng=0).replacement_horizon(ESTIMATE)
+        assert summary.horizon_days == pytest.approx(
+            summary.horizon_seconds / 86400
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrayFarm(0)
+        with pytest.raises(ValueError):
+            ArrayFarm(4, sigma=-1)
+        with pytest.raises(ValueError):
+            ArrayFarm(4).replacement_horizon(ESTIMATE, failure_fraction=0.0)

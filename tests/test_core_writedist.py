@@ -1,0 +1,131 @@
+"""Tests for repro.core.writedist."""
+
+import numpy as np
+import pytest
+
+from repro.array.geometry import Orientation
+from repro.core.writedist import WriteDistribution, compare_balance
+
+
+def _dist(counts, iterations=1, orientation=Orientation.COLUMN_PARALLEL, label=""):
+    return WriteDistribution(np.asarray(counts, dtype=float), iterations,
+                             orientation, label)
+
+
+class TestStatistics:
+    def test_max_mean_total(self):
+        dist = _dist([[1, 2], [3, 4]])
+        assert dist.max == 4
+        assert dist.total == 10
+        assert dist.mean == 2.5
+
+    def test_max_per_iteration(self):
+        dist = _dist([[10, 0], [0, 0]], iterations=5)
+        assert dist.max_per_iteration == 2.0
+
+    def test_cell_utilization(self):
+        dist = _dist([[1, 0], [0, 2]])
+        assert dist.cell_utilization == 0.5
+
+    def test_balance_perfect_when_uniform(self):
+        dist = _dist([[3, 3], [3, 3]])
+        assert dist.balance == pytest.approx(1.0)
+
+    def test_balance_ignores_unwritten_cells(self):
+        dist = _dist([[4, 4], [0, 0]])
+        assert dist.balance == pytest.approx(1.0)
+
+    def test_balance_of_empty_distribution(self):
+        dist = _dist([[0, 0], [0, 0]])
+        assert dist.balance == 1.0
+        assert dist.gini == 0.0
+
+    def test_gini_uniform_is_zero(self):
+        dist = _dist(np.full((4, 4), 7.0))
+        assert dist.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_concentrated_is_high(self):
+        counts = np.zeros((8, 8))
+        counts[0, 0] = 100.0
+        assert _dist(counts).gini > 0.9
+
+
+class TestViews:
+    def test_normalized_scale(self):
+        dist = _dist([[2, 4], [0, 8]])
+        normalized = dist.normalized()
+        assert normalized.max() == pytest.approx(1.0)
+        assert normalized[0, 0] == pytest.approx(0.25)
+
+    def test_lane_matrix_orientation(self):
+        counts = np.array([[1.0, 2.0], [3.0, 4.0]])
+        column = _dist(counts, orientation=Orientation.COLUMN_PARALLEL)
+        row = _dist(counts, orientation=Orientation.ROW_PARALLEL)
+        assert np.array_equal(column.lane_matrix(), counts)
+        assert np.array_equal(row.lane_matrix(), counts.T)
+
+    def test_offset_profile_is_fig5_view(self):
+        counts = np.array([[1.0, 3.0], [5.0, 7.0]])
+        dist = _dist(counts)
+        assert np.allclose(dist.offset_profile(), [2.0, 6.0])
+        assert np.allclose(dist.lane_profile(), [3.0, 5.0])
+
+    def test_downsample_block_means(self):
+        counts = np.arange(16, dtype=float).reshape(4, 4)
+        grid = _dist(counts).downsample((2, 2))
+        assert grid.shape == (2, 2)
+        assert grid[0, 0] == pytest.approx(counts[:2, :2].mean())
+
+    def test_downsample_requires_divisible_blocks(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            _dist(np.zeros((4, 4))).downsample((3, 2))
+
+
+class TestRenderings:
+    def test_ascii_heatmap_dimensions(self):
+        counts = np.random.default_rng(0).random((32, 64))
+        text = _dist(counts, label="demo").ascii_heatmap(blocks=(8, 16))
+        lines = text.splitlines()
+        assert "demo" in lines[0]
+        assert len(lines) == 9
+        assert all(len(line) == 16 for line in lines[1:])
+
+    def test_ascii_heatmap_empty(self):
+        text = _dist(np.zeros((8, 8))).ascii_heatmap(blocks=(2, 2))
+        assert "no writes" in text
+
+    def test_csv_round_trip(self, tmp_path):
+        counts = np.arange(4, dtype=float).reshape(2, 2)
+        path = tmp_path / "dist.csv"
+        _dist(counts).to_csv(str(path))
+        loaded = np.loadtxt(path, delimiter=",")
+        assert np.allclose(loaded, counts)
+
+    def test_csv_string(self):
+        text = _dist([[1, 2], [3, 4]]).to_csv_string()
+        assert text.splitlines()[0] == "1,2"
+
+    def test_summary_contains_stats(self):
+        summary = _dist([[1, 2], [3, 4]], label="x").summary()
+        assert "max=4" in summary
+        assert "balance=" in summary
+
+
+class TestValidation:
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            WriteDistribution(np.zeros(4), 1)
+
+    def test_nonpositive_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            WriteDistribution(np.zeros((2, 2)), 0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            WriteDistribution(np.array([[-1.0, 0.0]]), 1)
+
+    def test_compare_balance_sorts_descending(self):
+        even = _dist([[1, 1]], label="even")
+        skewed = _dist([[9, 1]], label="skewed")
+        ranking = compare_balance([skewed, even])
+        assert [label for label, _, _ in ranking] == ["even", "skewed"]

@@ -1,0 +1,56 @@
+"""Tests for repro.devices.energy."""
+
+import pytest
+
+from repro.devices.energy import EnergyModel, OperationCosts
+from repro.devices.technology import MRAM, RRAM
+
+
+class TestOperationCosts:
+    def test_addition_combines_fields(self):
+        a = OperationCosts(1, 2, 3, 4.0, 5.0)
+        b = OperationCosts(10, 20, 30, 40.0, 50.0)
+        total = a + b
+        assert total == OperationCosts(11, 22, 33, 44.0, 55.0)
+
+    def test_scaling(self):
+        costs = OperationCosts(1, 2, 3, 4.0, 5.0)
+        scaled = costs.scaled(3)
+        assert scaled.sequential_ops == 3
+        assert scaled.cell_writes == 9
+        assert scaled.latency_s == pytest.approx(12.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            OperationCosts(1, 1, 1, 1.0, 1.0).scaled(-1)
+
+
+class TestEnergyModel:
+    def test_latency_is_3ns_per_sequential_op(self):
+        model = EnergyModel(MRAM)
+        costs = model.costs(sequential_ops=1000, cell_reads=0, cell_writes=0)
+        assert costs.latency_s == pytest.approx(1000 * 3e-9)
+
+    def test_energy_weights_reads_and_writes(self):
+        model = EnergyModel(MRAM)
+        costs = model.costs(sequential_ops=1, cell_reads=10, cell_writes=5)
+        expected = 10 * MRAM.read_energy_fj + 5 * MRAM.write_energy_fj
+        assert costs.energy_fj == pytest.approx(expected)
+
+    def test_write_energy_dominates(self):
+        # NVM writes cost orders of magnitude more than reads.
+        for tech in (MRAM, RRAM):
+            assert tech.write_energy_fj > 10 * tech.read_energy_fj
+
+    def test_negative_counts_rejected(self):
+        model = EnergyModel(MRAM)
+        with pytest.raises(ValueError):
+            model.costs(-1, 0, 0)
+
+    def test_parallel_gates_share_one_latency_slot(self):
+        # 1024 parallel gate writes in one sequential slot: latency of one
+        # op, energy of 1024 writes — the PIM trade the paper quantifies.
+        model = EnergyModel(MRAM)
+        costs = model.costs(sequential_ops=1, cell_reads=2048, cell_writes=1024)
+        assert costs.latency_s == pytest.approx(3e-9)
+        assert costs.energy_fj > 1024 * MRAM.write_energy_fj

@@ -1,0 +1,84 @@
+"""Tests for repro.devices.technology."""
+
+import pytest
+
+from repro.devices.technology import (
+    MRAM,
+    PCM,
+    RRAM,
+    RRAM_OPTIMISTIC,
+    TECHNOLOGIES,
+    DEFAULT_OP_LATENCY_S,
+    Technology,
+    technology_by_name,
+)
+
+
+class TestPresets:
+    def test_mram_endurance_is_1e12(self):
+        # The paper's default: "assume an endurance of 1e12 writes".
+        assert MRAM.endurance_writes == 1e12
+
+    def test_rram_endurance_is_1e8(self):
+        # The pessimistic endpoint used for the "5 minutes" example.
+        assert RRAM.endurance_writes == 1e8
+
+    def test_rram_optimistic_is_1e9(self):
+        assert RRAM_OPTIMISTIC.endurance_writes == 1e9
+
+    def test_pcm_endurance_within_published_range(self):
+        low, high = PCM.endurance_range
+        assert low <= PCM.endurance_writes <= high
+
+    def test_default_latency_is_3ns(self):
+        # "assuming 3ns per operation" (Section 4).
+        assert DEFAULT_OP_LATENCY_S == pytest.approx(3e-9)
+        for tech in (MRAM, RRAM, PCM):
+            assert tech.op_latency_s == pytest.approx(3e-9)
+
+    def test_endurance_ordering(self):
+        # MRAM >> RRAM >= PCM per Section 2.1.
+        assert MRAM.endurance_writes > RRAM_OPTIMISTIC.endurance_writes
+        assert RRAM_OPTIMISTIC.endurance_writes >= PCM.endurance_writes
+
+
+class TestLookup:
+    def test_lookup_by_name(self):
+        assert technology_by_name("MRAM") is MRAM
+
+    def test_lookup_is_case_insensitive(self):
+        assert technology_by_name("rram") == TECHNOLOGIES["RRAM"]
+
+    def test_lookup_strips_whitespace(self):
+        assert technology_by_name("  pcm ") == PCM
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="MRAM"):
+            technology_by_name("FeRAM")
+
+
+class TestValidation:
+    def test_negative_endurance_rejected(self):
+        with pytest.raises(ValueError):
+            Technology("X", -1, (1, 10))
+
+    def test_endurance_outside_range_rejected(self):
+        with pytest.raises(ValueError, match="outside the"):
+            Technology("X", 100, (1, 10))
+
+    def test_nonpositive_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Technology("X", 5, (1, 10), op_latency_s=0)
+
+    def test_with_endurance_moves_operating_point(self):
+        moved = RRAM.with_endurance(1e9)
+        assert moved.endurance_writes == 1e9
+        assert moved.name == "RRAM"
+
+    def test_with_endurance_outside_range_rejected(self):
+        with pytest.raises(ValueError):
+            RRAM.with_endurance(1e15)
+
+    def test_technologies_registry_contains_all_presets(self):
+        for name in ("MRAM", "RRAM", "PCM", "RRAM_OPTIMISTIC"):
+            assert name in TECHNOLOGIES

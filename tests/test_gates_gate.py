@@ -1,0 +1,55 @@
+"""Tests for repro.gates.gate."""
+
+import pytest
+
+from repro.gates.gate import Gate
+from repro.gates.ops import GateOp
+
+
+class TestConstruction:
+    def test_reads_and_writes(self):
+        gate = Gate(GateOp.NAND, (0, 1), 2)
+        assert gate.reads == 2
+        assert gate.writes == 1
+
+    def test_not_gate_reads_once(self):
+        assert Gate(GateOp.NOT, (5,), 6).reads == 1
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="takes 2 inputs"):
+            Gate(GateOp.AND, (0,), 1)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            Gate(GateOp.NOT, (-1,), 0)
+
+    def test_output_overlapping_input_rejected(self):
+        # The surveyed architectures write the output cell while/after
+        # reading inputs; in-place gates are not part of the model.
+        with pytest.raises(ValueError, match="must differ"):
+            Gate(GateOp.AND, (0, 1), 1)
+
+    def test_gates_are_hashable_and_comparable(self):
+        assert Gate(GateOp.AND, (0, 1), 2) == Gate(GateOp.AND, (0, 1), 2)
+        assert len({Gate(GateOp.AND, (0, 1), 2)} | {Gate(GateOp.AND, (0, 1), 2)}) == 1
+
+
+class TestEvaluate:
+    def test_evaluate_routes_to_truth_table(self):
+        gate = Gate(GateOp.XOR, (0, 1), 2)
+        assert gate.evaluate((1, 0)) == 1
+        assert gate.evaluate((1, 1)) == 0
+
+
+class TestRemapped:
+    def test_remapped_applies_mapping_everywhere(self):
+        gate = Gate(GateOp.NAND, (0, 1), 2)
+        shifted = gate.remapped(lambda a: a + 10)
+        assert shifted.inputs == (10, 11)
+        assert shifted.output == 12
+        assert shifted.op is GateOp.NAND
+
+    def test_remapped_preserves_original(self):
+        gate = Gate(GateOp.NOT, (3,), 4)
+        gate.remapped(lambda a: a * 2)
+        assert gate.inputs == (3,)

@@ -1,0 +1,109 @@
+"""Coverage for utility paths: netlists, networked-evaluation errors,
+shuffled programs on every library, CLI remap-sweep."""
+
+import pytest
+
+from repro.balance.access_aware import build_shuffled_multiply
+from repro.cli import main
+from repro.gates.library import MAJ_LIBRARY, NOR_LIBRARY
+from repro.gates.ops import GateOp
+from repro.synth.bits import BitVector
+from repro.synth.program import LaneProgramBuilder
+from repro.workloads.base import evaluate_networked
+
+
+class TestNetlist:
+    def _program(self):
+        builder = LaneProgramBuilder(NOR_LIBRARY, name="demo")
+        a = builder.input_vector("a", 2)
+        x = builder.gate(GateOp.NOR, a[0], a[1])
+        builder.mark_output("z", BitVector([x]))
+        builder.read_out(BitVector([x]), tag="z")
+        return builder.finish()
+
+    def test_netlist_lists_every_instruction_kind(self):
+        text = self._program().format_netlist()
+        assert "WRITE" in text and "NOR" in text and "READ" in text
+        assert "a[0]" in text
+        assert "z[0]" in text
+
+    def test_netlist_limit_elides(self):
+        text = self._program().format_netlist(limit=1)
+        assert "more instructions" in text
+
+    def test_netlist_full(self):
+        text = self._program().format_netlist(limit=None)
+        assert "more instructions" not in text
+
+    def test_netlist_shows_const_and_external(self):
+        builder = LaneProgramBuilder(MAJ_LIBRARY)
+        builder.const_bit(1)
+        builder.receive_vector("stream", 1)
+        text = builder.finish().format_netlist()
+        assert "const 1" in text
+        assert "<stream[0]>" in text
+
+
+class TestEvaluateNetworkedErrors:
+    def _pair(self):
+        sender_builder = LaneProgramBuilder(NOR_LIBRARY)
+        value = sender_builder.input_vector("v", 1)
+        sender_builder.send_vector(value, "link")
+        sender = sender_builder.finish()
+        receiver_builder = LaneProgramBuilder(NOR_LIBRARY)
+        incoming = receiver_builder.receive_vector("link", 1)
+        receiver_builder.mark_output("got", incoming)
+        receiver = receiver_builder.finish()
+        return sender, receiver
+
+    def test_happy_path(self):
+        sender, receiver = self._pair()
+        outputs, pool = evaluate_networked(
+            {1: sender, 0: receiver}, {1: {"v": 1}}, order=[1, 0]
+        )
+        assert outputs[0]["got"] == 1
+        assert pool["link"] == [1]
+
+    def test_order_must_cover_lanes(self):
+        sender, receiver = self._pair()
+        with pytest.raises(ValueError, match="exactly the mapped lanes"):
+            evaluate_networked({0: receiver, 1: sender}, {}, order=[0])
+
+    def test_duplicate_tag_rejected(self):
+        sender, _ = self._pair()
+        with pytest.raises(ValueError, match="duplicate transfer tag"):
+            evaluate_networked(
+                {0: sender, 1: sender},
+                {0: {"v": 1}, 1: {"v": 0}},
+                order=[0, 1],
+            )
+
+    def test_preseeded_externals(self):
+        _, receiver = self._pair()
+        outputs, _ = evaluate_networked(
+            {0: receiver}, {}, order=[0], externals={"link": [1]}
+        )
+        assert outputs[0]["got"] == 1
+
+
+class TestShuffledMultiplyOtherLibraries:
+    @pytest.mark.parametrize(
+        "library", [NOR_LIBRARY, MAJ_LIBRARY], ids=lambda l: l.name
+    )
+    def test_correct_on_copy_free_fabrics(self, library):
+        program = build_shuffled_multiply(library, 3)
+        for x in range(8):
+            for y in range(8):
+                outputs, _ = program.evaluate({"a": x, "b": y})
+                assert outputs["product"] == x * y
+
+
+class TestCliRemapSweep:
+    def test_remap_sweep_runs(self, capsys):
+        main([
+            "--rows", "256", "--cols", "32",
+            "remap-sweep", "--workload", "mult",
+            "--iterations", "200", "--intervals", "100", "20",
+        ])
+        out = capsys.readouterr().out
+        assert "Recompile" in out

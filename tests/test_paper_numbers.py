@@ -1,0 +1,138 @@
+"""Calibration lockfile: every quantitative claim in the paper's text that
+our models must reproduce exactly (see DESIGN.md's calibration table).
+
+If any of these tests fail, the reproduction has drifted from the paper.
+"""
+
+import pytest
+
+from repro.array.geometry import ArrayGeometry
+from repro.balance.access_aware import (
+    shuffle_copy_gates,
+    shuffle_overhead_percent,
+)
+from repro.core.lifetime import (
+    eq1_operations_until_total_failure,
+    eq2_seconds_until_total_failure,
+)
+from repro.devices.technology import MRAM, PCM, RRAM
+from repro.gates.library import MINIMAL_LIBRARY, NAND_LIBRARY
+from repro.synth.analysis import (
+    adder_counts,
+    conventional_multiplication_counts,
+    multiplier_counts,
+    pim_vs_conventional_write_ratio,
+)
+
+GEOMETRY = ArrayGeometry(1024, 1024)
+
+
+class TestSection31:
+    """Operation counts (paper Section 3.1)."""
+
+    def test_9824_writes_per_32bit_multiplication(self):
+        assert multiplier_counts(32, NAND_LIBRARY).cell_writes == 9824
+
+    def test_19616_reads_per_32bit_multiplication(self):
+        assert multiplier_counts(32, NAND_LIBRARY).cell_reads == 19616
+
+    def test_conventional_64_reads_64_writes(self):
+        counts = conventional_multiplication_counts(32)
+        assert (counts.cell_reads, counts.cell_writes) == (64, 64)
+
+    def test_conventional_per_cell_00625(self):
+        reads, writes = conventional_multiplication_counts(32).per_cell(1024)
+        assert reads == writes == pytest.approx(0.0625)
+
+    def test_pim_per_cell_19_16_and_9_59(self):
+        reads, writes = multiplier_counts(32, NAND_LIBRARY).per_cell(1024)
+        assert reads == pytest.approx(19.16, abs=0.005)
+        assert writes == pytest.approx(9.59, abs=0.005)
+
+    def test_over_150x_write_blowup(self):
+        assert pim_vs_conventional_write_ratio(32, NAND_LIBRARY) > 150
+
+
+class TestEquations:
+    """Equations 1 and 2 (paper Section 3.1)."""
+
+    def test_eq1_1_07e14_multiplications(self):
+        value = eq1_operations_until_total_failure(GEOMETRY, 1e12, 9824)
+        assert value == pytest.approx(1.07e14, rel=0.003)
+
+    def test_eq2_3072000_seconds(self):
+        assert eq2_seconds_until_total_failure(
+            GEOMETRY, 1e12, 1024
+        ) == pytest.approx(3_072_000)
+
+    def test_eq2_35_56_days(self):
+        days = eq2_seconds_until_total_failure(GEOMETRY, 1e12, 1024) / 86400
+        assert days == pytest.approx(35.56, abs=0.01)
+
+    def test_rram_just_over_5_minutes(self):
+        seconds = eq2_seconds_until_total_failure(GEOMETRY, 1e8, 1024)
+        assert seconds == pytest.approx(307.2)
+        assert 300 < seconds < 360
+
+
+class TestSection32:
+    """Gate-minimum formulas and shuffle overheads (Section 3.2, Table 2)."""
+
+    @pytest.mark.parametrize("bits", [4, 8, 16, 32, 64])
+    def test_mult_gate_formula_6b2_minus_8b(self, bits):
+        assert (
+            multiplier_counts(bits, MINIMAL_LIBRARY).gates
+            == 6 * bits * bits - 8 * bits
+        )
+
+    @pytest.mark.parametrize("bits", [4, 8, 16, 32, 64])
+    def test_add_gate_formula_5b_minus_3(self, bits):
+        assert adder_counts(bits, MINIMAL_LIBRARY).gates == 5 * bits - 3
+
+    def test_shuffle_uses_4b_copies_for_multiply(self):
+        assert shuffle_copy_gates("multiply", 32) == 4 * 32
+
+    def test_shuffle_uses_3b_plus_1_copies_for_add(self):
+        assert shuffle_copy_gates("add", 32) == 3 * 32 + 1
+
+    @pytest.mark.parametrize(
+        "bits,mult_pct,add_pct",
+        [
+            (4, 25.0, 76.47),
+            (8, 10.0, 67.57),
+            (16, 4.55, 63.64),
+            (32, 2.17, 61.78),
+            (64, 1.06, 60.88),
+        ],
+    )
+    def test_table2_exact(self, bits, mult_pct, add_pct):
+        assert shuffle_overhead_percent("multiply", bits) == pytest.approx(
+            mult_pct, abs=0.005
+        )
+        assert shuffle_overhead_percent("add", bits) == pytest.approx(
+            add_pct, abs=0.005
+        )
+
+
+class TestSection21:
+    """Device endurance figures (Section 2.1)."""
+
+    def test_mtj_endurance_1e12(self):
+        assert MRAM.endurance_writes == 1e12
+
+    def test_rram_endurance_1e8_to_1e9(self):
+        assert RRAM.endurance_range == (1e6, 1e9)
+        assert 1e8 <= RRAM.endurance_writes <= 1e9
+
+    def test_pcm_endurance_1e6_to_1e9(self):
+        low, high = PCM.endurance_range
+        assert (low, high) == (1e6, 1e9)
+
+
+class TestFullAdderCircuit:
+    """Fig. 2: the full adder is 9 NAND gates."""
+
+    def test_fig2_nine_nand_full_adder(self):
+        from repro.synth.analysis import full_adder_counts
+
+        assert full_adder_counts(NAND_LIBRARY).gates == 9

@@ -1,0 +1,155 @@
+"""Tests for repro.synth.adders: correctness and the paper's gate costs."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates.library import MINIMAL_LIBRARY, NAND_LIBRARY, NOR_LIBRARY
+from repro.synth.adders import full_adder, half_adder, ripple_carry_add
+from repro.synth.bits import BitVector
+from repro.synth.program import LaneProgramBuilder
+
+LIBRARIES = [MINIMAL_LIBRARY, NAND_LIBRARY, NOR_LIBRARY]
+
+
+def _run_full_adder(library, a, b, cin):
+    builder = LaneProgramBuilder(library)
+    av = builder.input_vector("a", 1)
+    bv = builder.input_vector("b", 1)
+    cv = builder.input_vector("c", 1)
+    s, cout = full_adder(builder, av[0], bv[0], cv[0])
+    builder.mark_output("s", BitVector([s]))
+    builder.mark_output("cout", BitVector([cout]))
+    outputs, _ = builder.finish().evaluate({"a": a, "b": b, "c": cin})
+    return outputs["s"], outputs["cout"], builder
+
+
+def _run_half_adder(library, a, b):
+    builder = LaneProgramBuilder(library)
+    av = builder.input_vector("a", 1)
+    bv = builder.input_vector("b", 1)
+    s, carry = half_adder(builder, av[0], bv[0])
+    builder.mark_output("s", BitVector([s]))
+    builder.mark_output("carry", BitVector([carry]))
+    outputs, _ = builder.finish().evaluate({"a": a, "b": b})
+    return outputs["s"], outputs["carry"]
+
+
+class TestFullAdder:
+    @pytest.mark.parametrize("library", LIBRARIES, ids=lambda l: l.name)
+    @pytest.mark.parametrize(
+        "a,b,cin", list(itertools.product([0, 1], repeat=3))
+    )
+    def test_exhaustive_truth_table(self, library, a, b, cin):
+        s, cout, _ = _run_full_adder(library, a, b, cin)
+        assert s == (a + b + cin) % 2
+        assert cout == (a + b + cin) // 2
+
+    @pytest.mark.parametrize("library", LIBRARIES, ids=lambda l: l.name)
+    def test_gate_cost_matches_library_contract(self, library):
+        builder = LaneProgramBuilder(library)
+        av = builder.input_vector("a", 1)
+        bv = builder.input_vector("b", 1)
+        cv = builder.input_vector("c", 1)
+        full_adder(builder, av[0], bv[0], cv[0])
+        assert builder.finish().gate_count == library.full_adder_gates
+
+    def test_nand_full_adder_reads(self):
+        # 9 two-input NANDs: 18 reads, 9 writes.
+        builder = LaneProgramBuilder(NAND_LIBRARY)
+        av = builder.input_vector("a", 1)
+        bv = builder.input_vector("b", 1)
+        cv = builder.input_vector("c", 1)
+        full_adder(builder, av[0], bv[0], cv[0])
+        program = builder.finish()
+        assert program.total_reads == 18
+        assert program.total_writes - 3 == 9  # minus operand loads
+
+
+class TestHalfAdder:
+    @pytest.mark.parametrize("library", LIBRARIES, ids=lambda l: l.name)
+    @pytest.mark.parametrize("a,b", list(itertools.product([0, 1], repeat=2)))
+    def test_exhaustive_truth_table(self, library, a, b):
+        s, carry = _run_half_adder(library, a, b)
+        assert s == a ^ b
+        assert carry == a & b
+
+    @pytest.mark.parametrize("library", LIBRARIES, ids=lambda l: l.name)
+    def test_gate_cost_matches_library_contract(self, library):
+        builder = LaneProgramBuilder(library)
+        av = builder.input_vector("a", 1)
+        bv = builder.input_vector("b", 1)
+        half_adder(builder, av[0], bv[0])
+        assert builder.finish().gate_count == library.half_adder_gates
+
+    def test_nand_half_adder_reads(self):
+        # 4 NANDs (8 reads) + 1 NOT (1 read) = 9 reads.
+        builder = LaneProgramBuilder(NAND_LIBRARY)
+        av = builder.input_vector("a", 1)
+        bv = builder.input_vector("b", 1)
+        half_adder(builder, av[0], bv[0])
+        assert builder.finish().total_reads == 9
+
+
+class TestRippleCarryAdd:
+    @pytest.mark.parametrize("library", LIBRARIES, ids=lambda l: l.name)
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_exhaustive_small_widths(self, library, width):
+        for x in range(2**width):
+            for y in range(2**width):
+                builder = LaneProgramBuilder(library)
+                a = builder.input_vector("a", width)
+                b = builder.input_vector("b", width)
+                total = ripple_carry_add(builder, a, b)
+                builder.mark_output("s", total)
+                outputs, _ = builder.finish().evaluate({"a": x, "b": y})
+                assert outputs["s"] == x + y
+
+    def test_output_is_one_bit_wider(self):
+        builder = LaneProgramBuilder(MINIMAL_LIBRARY)
+        a = builder.input_vector("a", 8)
+        b = builder.input_vector("b", 8)
+        assert ripple_carry_add(builder, a, b).width == 9
+
+    @pytest.mark.parametrize("width", [4, 8, 16, 32])
+    def test_minimal_gate_count_is_5b_minus_3(self, width):
+        builder = LaneProgramBuilder(MINIMAL_LIBRARY)
+        a = builder.input_vector("a", width)
+        b = builder.input_vector("b", width)
+        ripple_carry_add(builder, a, b)
+        assert builder.finish().gate_count == 5 * width - 3
+
+    def test_mismatched_widths_rejected(self):
+        builder = LaneProgramBuilder(MINIMAL_LIBRARY)
+        a = builder.input_vector("a", 4)
+        b = builder.input_vector("b", 5)
+        with pytest.raises(ValueError, match="equal widths"):
+            ripple_carry_add(builder, a, b)
+
+    def test_free_inputs_shrinks_live_set(self):
+        # Freed operand addresses return to the pool (they may be reused by
+        # later gate outputs, so compare live counts, not identities).
+        def live_count(free_inputs):
+            builder = LaneProgramBuilder(MINIMAL_LIBRARY)
+            a = builder.input_vector("a", 4)
+            b = builder.input_vector("b", 4)
+            ripple_carry_add(builder, a, b, free_inputs=free_inputs)
+            return builder.allocator.live_count
+
+        assert live_count(True) == live_count(False) - 8
+
+    @given(
+        x=st.integers(0, 2**16 - 1),
+        y=st.integers(0, 2**16 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_16bit_additions(self, x, y):
+        builder = LaneProgramBuilder(NAND_LIBRARY)
+        a = builder.input_vector("a", 16)
+        b = builder.input_vector("b", 16)
+        total = ripple_carry_add(builder, a, b)
+        builder.mark_output("s", total)
+        outputs, _ = builder.finish().evaluate({"a": x, "b": y})
+        assert outputs["s"] == x + y

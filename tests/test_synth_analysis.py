@@ -1,0 +1,105 @@
+"""Tests for repro.synth.analysis: the Section 3.1 arithmetic."""
+
+import pytest
+
+from repro.gates.library import MINIMAL_LIBRARY, NAND_LIBRARY, NOR_LIBRARY
+from repro.synth.analysis import (
+    OperationCounts,
+    adder_counts,
+    and_gate_counts,
+    conventional_multiplication_counts,
+    full_adder_counts,
+    half_adder_counts,
+    multiplier_counts,
+    pim_vs_conventional_write_ratio,
+)
+from repro.synth.multiplier import multiply
+from repro.synth.program import LaneProgramBuilder
+
+
+class TestPrimitiveCosts:
+    def test_nand_primitives(self):
+        fa = full_adder_counts(NAND_LIBRARY)
+        assert (fa.gates, fa.cell_reads, fa.cell_writes) == (9, 18, 9)
+        ha = half_adder_counts(NAND_LIBRARY)
+        assert (ha.gates, ha.cell_reads, ha.cell_writes) == (5, 9, 5)
+        land = and_gate_counts(NAND_LIBRARY)
+        assert (land.gates, land.cell_reads, land.cell_writes) == (1, 2, 1)
+
+    def test_minimal_primitives(self):
+        fa = full_adder_counts(MINIMAL_LIBRARY)
+        assert (fa.gates, fa.cell_reads, fa.cell_writes) == (5, 10, 5)
+        ha = half_adder_counts(MINIMAL_LIBRARY)
+        assert (ha.gates, ha.cell_reads, ha.cell_writes) == (2, 4, 2)
+
+    def test_nor_and_costs_three_gates(self):
+        assert and_gate_counts(NOR_LIBRARY).gates == 3
+
+
+class TestMultiplierCounts:
+    def test_paper_headline_numbers(self):
+        # Section 3.1: 9,824 cell writes and 19,616 cell reads for 32-bit.
+        counts = multiplier_counts(32, NAND_LIBRARY)
+        assert counts.cell_writes == 9824
+        assert counts.cell_reads == 19616
+        assert counts.gates == 9824
+
+    def test_per_cell_averages(self):
+        # Section 3.1: "an average of 19.16 reads/cell and 9.59 writes/cell"
+        # over 1024 cells.
+        reads, writes = multiplier_counts(32, NAND_LIBRARY).per_cell(1024)
+        assert reads == pytest.approx(19.16, abs=0.01)
+        assert writes == pytest.approx(9.59, abs=0.01)
+
+    @pytest.mark.parametrize("bits", [4, 8, 16, 32])
+    def test_closed_form_matches_synthesized_program(self, bits):
+        # The formula and the executable circuit must agree exactly.
+        for library in (NAND_LIBRARY, MINIMAL_LIBRARY, NOR_LIBRARY):
+            builder = LaneProgramBuilder(library)
+            a = builder.input_vector("a", bits)
+            b = builder.input_vector("b", bits)
+            multiply(builder, a, b)
+            program = builder.finish()
+            counts = multiplier_counts(bits, library)
+            assert program.gate_count == counts.gates
+            assert program.total_reads == counts.cell_reads
+            assert program.total_writes - 2 * bits == counts.cell_writes
+
+    def test_width_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            multiplier_counts(1, NAND_LIBRARY)
+
+
+class TestConventionalBaseline:
+    def test_paper_reference_values(self):
+        # "this incurs 64 cell reads and 64 cell writes" (Section 3.1).
+        counts = conventional_multiplication_counts(32)
+        assert counts.cell_reads == 64
+        assert counts.cell_writes == 64
+        assert counts.gates == 0
+
+    def test_per_cell_average_is_00625(self):
+        reads, writes = conventional_multiplication_counts(32).per_cell(1024)
+        assert reads == pytest.approx(0.0625)
+        assert writes == pytest.approx(0.0625)
+
+    def test_write_ratio_exceeds_150x(self):
+        # The introduction's ">150x more write operations" claim.
+        ratio = pim_vs_conventional_write_ratio(32, NAND_LIBRARY)
+        assert ratio == pytest.approx(153.5)
+        assert ratio > 150
+
+
+class TestOperationCounts:
+    def test_arithmetic(self):
+        a = OperationCounts(1, 2, 3)
+        assert (a + a) == OperationCounts(2, 4, 6)
+        assert 3 * a == OperationCounts(3, 6, 9)
+
+    def test_per_cell_validation(self):
+        with pytest.raises(ValueError):
+            OperationCounts(1, 1, 1).per_cell(0)
+
+    def test_adder_counts_formula(self):
+        counts = adder_counts(32, MINIMAL_LIBRARY)
+        assert counts.gates == 5 * 32 - 3

@@ -1,0 +1,133 @@
+"""Tests for repro.synth.bits: allocation policies and bit vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.bits import AllocationPolicy, BitAllocator, BitVector
+
+
+class TestLowestFirstAllocator:
+    def test_fresh_allocation_is_sequential(self):
+        allocator = BitAllocator()
+        assert allocator.alloc_many(3) == [0, 1, 2]
+
+    def test_freed_lowest_address_reused_first(self):
+        allocator = BitAllocator()
+        allocator.alloc_many(5)
+        allocator.free(3)
+        allocator.free(1)
+        assert allocator.alloc() == 1
+        assert allocator.alloc() == 3
+        assert allocator.alloc() == 5
+
+    def test_high_water_mark_tracks_peak(self):
+        allocator = BitAllocator()
+        bits = allocator.alloc_many(4)
+        allocator.free_many(bits)
+        allocator.alloc_many(2)
+        assert allocator.high_water_mark == 4
+
+    def test_capacity_exhaustion_raises(self):
+        allocator = BitAllocator(capacity=2)
+        allocator.alloc_many(2)
+        with pytest.raises(MemoryError, match="capacity 2"):
+            allocator.alloc()
+
+    def test_double_free_rejected(self):
+        allocator = BitAllocator()
+        address = allocator.alloc()
+        allocator.free(address)
+        with pytest.raises(ValueError, match="not allocated"):
+            allocator.free(address)
+
+    def test_live_count(self):
+        allocator = BitAllocator()
+        bits = allocator.alloc_many(3)
+        allocator.free(bits[0])
+        assert allocator.live_count == 2
+        assert not allocator.is_live(bits[0])
+        assert allocator.is_live(bits[1])
+
+
+class TestRingAllocator:
+    def test_requires_capacity(self):
+        with pytest.raises(ValueError, match="bounded capacity"):
+            BitAllocator(policy=AllocationPolicy.RING)
+
+    def test_ring_advances_past_freed_addresses(self):
+        # Freed cells are not reused until the cursor wraps back around —
+        # the sweep that spreads workspace wear across the whole lane.
+        allocator = BitAllocator(capacity=4, policy=AllocationPolicy.RING)
+        a = allocator.alloc()  # 0
+        allocator.free(a)
+        assert allocator.alloc() == 1
+        assert allocator.alloc() == 2
+        assert allocator.alloc() == 3
+        assert allocator.alloc() == 0  # wrapped
+
+    def test_ring_skips_live_cells(self):
+        allocator = BitAllocator(capacity=3, policy=AllocationPolicy.RING)
+        keep = allocator.alloc()  # 0, stays live
+        b = allocator.alloc()  # 1
+        allocator.free(b)
+        assert allocator.alloc() == 2
+        assert allocator.alloc() == 1  # 0 is live, so wrap lands on 1
+        assert allocator.is_live(keep)
+
+    def test_ring_exhaustion_raises(self):
+        allocator = BitAllocator(capacity=2, policy=AllocationPolicy.RING)
+        allocator.alloc_many(2)
+        with pytest.raises(MemoryError):
+            allocator.alloc()
+
+    @given(ops=st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_ring_never_double_allocates(self, ops):
+        allocator = BitAllocator(capacity=16, policy=AllocationPolicy.RING)
+        live = set()
+        for op in ops:
+            if op == 0 and len(live) < 16:
+                address = allocator.alloc()
+                assert address not in live
+                live.add(address)
+            elif op == 1 and live:
+                address = live.pop()
+                allocator.free(address)
+
+
+class TestBitVector:
+    def test_width_and_iteration(self):
+        vector = BitVector([3, 1, 7])
+        assert vector.width == 3
+        assert list(vector) == [3, 1, 7]
+
+    def test_indexing_and_slicing(self):
+        vector = BitVector([3, 1, 7, 9])
+        assert vector[0] == 3
+        assert vector[1:3] == BitVector([1, 7])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            BitVector([1, 1])
+
+    def test_concat(self):
+        assert BitVector([0, 1]).concat(BitVector([5])) == BitVector([0, 1, 5])
+
+    def test_value_bits_round_trip(self):
+        bits = BitVector.value_bits(0b1011, 6)
+        assert bits == [1, 1, 0, 1, 0, 0]
+        assert BitVector.bits_value(bits) == 0b1011
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            BitVector.value_bits(16, 4)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector.value_bits(-1, 4)
+
+    @given(value=st.integers(0, 2**32 - 1))
+    @settings(max_examples=100)
+    def test_round_trip_property(self, value):
+        assert BitVector.bits_value(BitVector.value_bits(value, 32)) == value

@@ -1,0 +1,70 @@
+"""Tests for repro.synth.comparator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates.library import MINIMAL_LIBRARY, NAND_LIBRARY, NOR_LIBRARY
+from repro.synth.bits import BitVector
+from repro.synth.comparator import compare_ge
+from repro.synth.program import LaneProgramBuilder
+
+
+def _compare_program(library, width, free_inputs=False):
+    builder = LaneProgramBuilder(library)
+    a = builder.input_vector("a", width)
+    b = builder.input_vector("b", width)
+    result = compare_ge(builder, a, b, free_inputs=free_inputs)
+    builder.mark_output("ge", BitVector([result]))
+    return builder.finish()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "library", [MINIMAL_LIBRARY, NAND_LIBRARY, NOR_LIBRARY],
+        ids=lambda l: l.name,
+    )
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_exhaustive_small_widths(self, library, width):
+        program = _compare_program(library, width)
+        for x in range(2**width):
+            for y in range(2**width):
+                outputs, _ = program.evaluate({"a": x, "b": y})
+                assert outputs["ge"] == int(x >= y), (library.name, x, y)
+
+    @given(x=st.integers(0, 255), y=st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_random_8bit_comparisons(self, x, y):
+        program = _compare_program(NAND_LIBRARY, 8)
+        outputs, _ = program.evaluate({"a": x, "b": y})
+        assert outputs["ge"] == int(x >= y)
+
+
+class TestCostsAndValidation:
+    def test_gate_cost_is_nots_plus_full_adders(self):
+        width = 8
+        program = _compare_program(NAND_LIBRARY, width)
+        expected = width * (1 + NAND_LIBRARY.full_adder_gates)
+        assert program.gate_count == expected
+
+    def test_one_constant_seed_write(self):
+        program = _compare_program(MINIMAL_LIBRARY, 4)
+        # 8 operand loads + 1 constant carry seed + gate outputs.
+        assert program.total_writes == 8 + 1 + program.gate_count
+
+    def test_mismatched_widths_rejected(self):
+        builder = LaneProgramBuilder(MINIMAL_LIBRARY)
+        a = builder.input_vector("a", 4)
+        b = builder.input_vector("b", 2)
+        with pytest.raises(ValueError, match="equal widths"):
+            compare_ge(builder, a, b)
+
+    def test_free_inputs_shrinks_live_set(self):
+        def live_count(free_inputs):
+            builder = LaneProgramBuilder(MINIMAL_LIBRARY)
+            a = builder.input_vector("a", 4)
+            b = builder.input_vector("b", 4)
+            compare_ge(builder, a, b, free_inputs=free_inputs)
+            return builder.allocator.live_count
+
+        assert live_count(True) == live_count(False) - 8

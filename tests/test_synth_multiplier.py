@@ -1,0 +1,117 @@
+"""Tests for repro.synth.multiplier: correctness and the DADDA census."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates.library import MINIMAL_LIBRARY, NAND_LIBRARY, NOR_LIBRARY
+from repro.synth.bits import AllocationPolicy
+from repro.synth.multiplier import multiply
+from repro.synth.program import LaneProgramBuilder
+
+LIBRARIES = [MINIMAL_LIBRARY, NAND_LIBRARY, NOR_LIBRARY]
+
+
+def _multiply_program(library, width, capacity=None, policy=None):
+    builder = LaneProgramBuilder(
+        library,
+        capacity=capacity,
+        policy=policy or AllocationPolicy.LOWEST_FIRST,
+    )
+    a = builder.input_vector("a", width)
+    b = builder.input_vector("b", width)
+    product = multiply(builder, a, b, free_inputs=True)
+    builder.mark_output("p", product)
+    return builder.finish()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("library", LIBRARIES, ids=lambda l: l.name)
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_exhaustive_small_widths(self, library, width):
+        program = _multiply_program(library, width)
+        for x in range(2**width):
+            for y in range(2**width):
+                outputs, _ = program.evaluate({"a": x, "b": y})
+                assert outputs["p"] == x * y, (library.name, width, x, y)
+
+    @given(x=st.integers(0, 2**8 - 1), y=st.integers(0, 2**8 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_random_8bit_products(self, x, y):
+        program = _multiply_program(NAND_LIBRARY, 8)
+        outputs, _ = program.evaluate({"a": x, "b": y})
+        assert outputs["p"] == x * y
+
+    @given(x=st.integers(0, 2**16 - 1), y=st.integers(0, 2**16 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_random_16bit_products(self, x, y):
+        program = _multiply_program(MINIMAL_LIBRARY, 16)
+        outputs, _ = program.evaluate({"a": x, "b": y})
+        assert outputs["p"] == x * y
+
+    def test_32bit_spot_checks(self):
+        program = _multiply_program(NAND_LIBRARY, 32)
+        for x, y in [(0, 0), (1, 2**31), (0xFFFFFFFF, 0xFFFFFFFF), (12345, 67890)]:
+            outputs, _ = program.evaluate({"a": x, "b": y})
+            assert outputs["p"] == x * y
+
+    def test_ring_policy_is_functionally_identical(self):
+        ring = _multiply_program(
+            NAND_LIBRARY, 4, capacity=64, policy=AllocationPolicy.RING
+        )
+        for x in range(16):
+            for y in range(16):
+                outputs, _ = ring.evaluate({"a": x, "b": y})
+                assert outputs["p"] == x * y
+
+
+class TestCensus:
+    @pytest.mark.parametrize("library", LIBRARIES, ids=lambda l: l.name)
+    @pytest.mark.parametrize("width", [2, 3, 4, 8])
+    def test_gate_count_matches_library_formula(self, library, width):
+        program = _multiply_program(library, width)
+        assert program.gate_count == library.multiplier_gates(width)
+
+    def test_32bit_nand_is_9824_gates(self):
+        # Section 3.1's headline count.
+        program = _multiply_program(NAND_LIBRARY, 32)
+        assert program.gate_count == 9824
+        assert program.total_writes - 64 == 9824  # minus operand loads
+        assert program.total_reads == 19616
+
+    def test_product_width_is_2b(self):
+        program = _multiply_program(MINIMAL_LIBRARY, 8)
+        assert len(program.outputs["p"]) == 16
+
+    def test_compact_footprint_is_small(self):
+        # With lowest-first reuse a 32-bit multiply fits in ~200 bits —
+        # "practical array sizes can easily accommodate 64-bit operands"
+        # (Section 3.1, footnote 3).
+        program = _multiply_program(NAND_LIBRARY, 32)
+        assert program.footprint < 256
+
+
+class TestValidation:
+    def test_mismatched_widths_rejected(self):
+        builder = LaneProgramBuilder(MINIMAL_LIBRARY)
+        a = builder.input_vector("a", 4)
+        b = builder.input_vector("b", 3)
+        with pytest.raises(ValueError, match="equal widths"):
+            multiply(builder, a, b)
+
+    def test_width_one_rejected(self):
+        builder = LaneProgramBuilder(MINIMAL_LIBRARY)
+        a = builder.input_vector("a", 1)
+        b = builder.input_vector("b", 1)
+        with pytest.raises(ValueError, match="at least 2"):
+            multiply(builder, a, b)
+
+    def test_free_inputs_shrinks_live_set(self):
+        def live_count(free_inputs):
+            builder = LaneProgramBuilder(MINIMAL_LIBRARY)
+            a = builder.input_vector("a", 4)
+            b = builder.input_vector("b", 4)
+            multiply(builder, a, b, free_inputs=free_inputs)
+            return builder.allocator.live_count
+
+        assert live_count(True) == live_count(False) - 8

@@ -1,0 +1,103 @@
+"""Tests for repro.synth.multiplier_tree (the Dadda tree alternative)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates.library import (
+    MAJ_LIBRARY,
+    MINIMAL_LIBRARY,
+    NAND_LIBRARY,
+)
+from repro.synth.multiplier import multiply
+from repro.synth.multiplier_tree import dadda_heights, tree_multiply
+from repro.synth.program import LaneProgramBuilder
+
+LIBRARIES = [MINIMAL_LIBRARY, NAND_LIBRARY, MAJ_LIBRARY]
+
+
+def _tree_program(library, width):
+    builder = LaneProgramBuilder(library)
+    a = builder.input_vector("a", width)
+    b = builder.input_vector("b", width)
+    product = tree_multiply(builder, a, b)
+    builder.mark_output("p", product)
+    return builder.finish()
+
+
+def _array_program(library, width):
+    builder = LaneProgramBuilder(library)
+    a = builder.input_vector("a", width)
+    b = builder.input_vector("b", width)
+    product = multiply(builder, a, b)
+    builder.mark_output("p", product)
+    return builder.finish()
+
+
+class TestHeights:
+    def test_sequence(self):
+        assert dadda_heights(13) == [2, 3, 4, 6, 9, 13]
+        assert dadda_heights(2) == [2]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            dadda_heights(1)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("library", LIBRARIES, ids=lambda l: l.name)
+    @pytest.mark.parametrize("width", [2, 3, 4, 5])
+    def test_exhaustive_small_widths(self, library, width):
+        program = _tree_program(library, width)
+        for x in range(2**width):
+            for y in range(2**width):
+                outputs, _ = program.evaluate({"a": x, "b": y})
+                assert outputs["p"] == x * y
+
+    @given(x=st.integers(0, 2**12 - 1), y=st.integers(0, 2**12 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_random_12bit(self, x, y):
+        program = _tree_program(NAND_LIBRARY, 12)
+        outputs, _ = program.evaluate({"a": x, "b": y})
+        assert outputs["p"] == x * y
+
+
+class TestTreeVsArray:
+    @pytest.mark.parametrize("width", [4, 8, 16])
+    def test_adder_census_is_identical(self, width):
+        # Any FA/HA reduction of b^2 partial products to a 2b-bit result
+        # uses the same adder count — the tree and the array tie on gates,
+        # which is why the paper's census applies to either.
+        tree = _tree_program(NAND_LIBRARY, width)
+        array = _array_program(NAND_LIBRARY, width)
+        assert tree.gate_count == array.gate_count
+
+    @pytest.mark.parametrize("width,factor", [(8, 1.5), (16, 2.5)])
+    def test_tree_needs_far_more_workspace(self, width, factor):
+        tree = _tree_program(NAND_LIBRARY, width)
+        array = _array_program(NAND_LIBRARY, width)
+        assert tree.footprint > factor * array.footprint
+
+    def test_32bit_tree_does_not_fit_the_papers_lane(self):
+        # The quantified justification for the paper's array structure: at
+        # 32 bits the tree's live set exceeds a 1024-bit lane.
+        tree = _tree_program(NAND_LIBRARY, 32)
+        assert tree.footprint > 1024
+        array = _array_program(NAND_LIBRARY, 32)
+        assert array.footprint < 256
+
+
+class TestValidation:
+    def test_mismatched_widths_rejected(self):
+        builder = LaneProgramBuilder(MINIMAL_LIBRARY)
+        a = builder.input_vector("a", 4)
+        b = builder.input_vector("b", 3)
+        with pytest.raises(ValueError, match="equal widths"):
+            tree_multiply(builder, a, b)
+
+    def test_width_one_rejected(self):
+        builder = LaneProgramBuilder(MINIMAL_LIBRARY)
+        a = builder.input_vector("a", 1)
+        b = builder.input_vector("b", 1)
+        with pytest.raises(ValueError, match="at least 2"):
+            tree_multiply(builder, a, b)

@@ -1,0 +1,73 @@
+"""Tests for repro.synth.popcount."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates.library import (
+    MAJ_LIBRARY,
+    MINIMAL_LIBRARY,
+    NAND_LIBRARY,
+    NOR_LIBRARY,
+)
+from repro.synth.popcount import popcount
+from repro.synth.program import LaneProgramBuilder
+
+LIBRARIES = [MINIMAL_LIBRARY, NAND_LIBRARY, NOR_LIBRARY, MAJ_LIBRARY]
+
+
+def _popcount_program(library, width):
+    builder = LaneProgramBuilder(library)
+    bits = builder.input_vector("v", width)
+    count = popcount(builder, bits)
+    builder.mark_output("count", count)
+    return builder.finish()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("library", LIBRARIES, ids=lambda l: l.name)
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 6])
+    def test_exhaustive_small_widths(self, library, width):
+        program = _popcount_program(library, width)
+        for value in range(2**width):
+            outputs, _ = program.evaluate({"v": value})
+            assert outputs["count"] == bin(value).count("1")
+
+    @given(value=st.integers(0, 2**20 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_random_20bit(self, value):
+        program = _popcount_program(MINIMAL_LIBRARY, 20)
+        outputs, _ = program.evaluate({"v": value})
+        assert outputs["count"] == bin(value).count("1")
+
+
+class TestStructure:
+    def test_result_width_is_logarithmic(self):
+        for width, expected in ((1, 1), (3, 2), (7, 3), (8, 4), (15, 4)):
+            program = _popcount_program(MINIMAL_LIBRARY, width)
+            assert len(program.outputs["count"]) == expected
+
+    def test_single_bit_passthrough(self):
+        program = _popcount_program(MINIMAL_LIBRARY, 1)
+        assert program.gate_count == 0
+
+    @pytest.mark.parametrize("width", [4, 8, 16, 32])
+    def test_adder_count_is_linear(self, width):
+        # A popcount tree uses about `width` adders, i.e. ~5*width gates in
+        # the minimal library — nothing quadratic.
+        program = _popcount_program(MINIMAL_LIBRARY, width)
+        assert program.gate_count <= 5 * width
+
+    def test_inputs_freed(self):
+        builder = LaneProgramBuilder(MINIMAL_LIBRARY)
+        bits = builder.input_vector("v", 8)
+        result = popcount(builder, bits)
+        live = builder.allocator.live_count
+        assert live == result.width  # only the count bits survive
+
+    def test_zero_width_rejected(self):
+        from repro.synth.bits import BitVector
+
+        builder = LaneProgramBuilder(MINIMAL_LIBRARY)
+        with pytest.raises(ValueError):
+            popcount(builder, BitVector([]))

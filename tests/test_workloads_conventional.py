@@ -1,0 +1,69 @@
+"""Tests for repro.workloads.conventional."""
+
+import pytest
+
+from repro.workloads.conventional import ConventionalBaseline
+from repro.workloads.convolution import Convolution
+from repro.workloads.dotproduct import DotProduct
+from repro.workloads.multiply import ParallelMultiplication
+
+
+class TestTraffic:
+    def test_multiplication_is_2b_reads_2b_writes(self):
+        baseline = ConventionalBaseline()
+        counts = baseline.traffic_multiplication(ParallelMultiplication(bits=32))
+        assert counts.cell_reads == 64
+        assert counts.cell_writes == 64
+        assert counts.gates == 0
+
+    def test_multiplication_scales_with_lanes(self):
+        baseline = ConventionalBaseline()
+        counts = baseline.traffic_multiplication(
+            ParallelMultiplication(bits=32), lanes=10
+        )
+        assert counts.cell_writes == 640
+
+    def test_dot_product_reads_all_operands(self):
+        baseline = ConventionalBaseline()
+        workload = DotProduct(n_elements=1024, bits=32)
+        counts = baseline.traffic_dot_product(workload)
+        assert counts.cell_reads == 2 * 1024 * 32
+        assert counts.cell_writes == 64 + 10
+
+    def test_convolution_writes_one_bit(self):
+        baseline = ConventionalBaseline()
+        counts = baseline.traffic_convolution(Convolution())
+        assert counts.cell_writes == 1
+
+    def test_dispatch(self):
+        baseline = ConventionalBaseline()
+        assert baseline.traffic(ParallelMultiplication(bits=8)).cell_reads == 16
+        with pytest.raises(TypeError):
+            baseline.traffic(object())
+
+
+class TestWriteRatio:
+    def test_multiplication_ratio_exceeds_150x(self):
+        from repro.array.architecture import default_architecture
+
+        workload = ParallelMultiplication(bits=32)
+        mapping = workload.build(default_architecture(256, 64))
+        ratio = ConventionalBaseline().write_ratio(mapping, workload)
+        # With CRAM pre-sets the blow-up is even larger than the paper's
+        # preset-free 153.5x.
+        assert ratio > 150
+
+    def test_ratio_without_presets_matches_section31(self):
+        from repro.array.architecture import PINATUBO
+
+        workload = ParallelMultiplication(bits=32)
+        mapping = workload.build(PINATUBO.resized(256, 64))
+        ratio = ConventionalBaseline().write_ratio(mapping, workload)
+        # 9,824 gate writes + 64 loads per lane over 64 conventional writes.
+        assert ratio == pytest.approx((9824 + 64) / 64, rel=1e-6)
+
+    def test_convolution_ratio_enormous(self, small_arch):
+        workload = Convolution(bits=4)
+        mapping = workload.build(small_arch)
+        ratio = ConventionalBaseline().write_ratio(mapping, workload)
+        assert ratio > 1000  # conventional writes a single output bit

@@ -1,0 +1,110 @@
+"""Tests for repro.workloads.convolution."""
+
+import numpy as np
+import pytest
+
+from repro.gates.library import NAND_LIBRARY
+from repro.workloads.base import evaluate_networked
+from repro.workloads.convolution import Convolution
+
+
+def _small_conv():
+    # 2x2 filter over 4 taps, 2 lanes x 2 products, 3-bit precision.
+    return Convolution(
+        filter_rows=2, filter_cols=2, neurons=(4, 4), bits=3, lanes_per_group=2
+    )
+
+
+class TestWidths:
+    def test_partial_and_final_widths(self):
+        workload = Convolution()  # paper defaults: 4x3, 8-bit, 4 lanes
+        assert workload.products_per_lane == 3
+        assert workload.partial_width == 18
+        assert workload.final_width == 21
+
+    def test_taps_must_divide_group(self):
+        with pytest.raises(ValueError, match="divide evenly"):
+            Convolution(filter_rows=3, filter_cols=3, lanes_per_group=4)
+
+    def test_filter_must_fit_neurons(self):
+        with pytest.raises(ValueError, match="smaller than the filter"):
+            Convolution(filter_rows=4, filter_cols=3, neurons=(3, 3))
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_group_computes_thresholded_convolution(self, seed):
+        workload = _small_conv()
+        programs, order = workload.build_functional_group(NAND_LIBRARY)
+        rng = np.random.default_rng(seed)
+        taps = workload.filter_rows * workload.filter_cols
+        neurons = rng.integers(0, 8, size=taps)
+        weights = rng.integers(0, 8, size=taps)
+        true_sum = int(np.dot(neurons, weights))
+        threshold = int(rng.integers(0, 4 * 49 + 1))
+        operands = {}
+        index = 0
+        for lane in range(workload.lanes_per_group):
+            lane_ops = {}
+            for i in range(workload.products_per_lane):
+                lane_ops[f"n{i}"] = int(neurons[index])
+                lane_ops[f"w{i}"] = int(weights[index])
+                index += 1
+            operands[lane] = lane_ops
+        operands[0]["threshold"] = threshold
+        outputs, _ = evaluate_networked(programs, operands, order)
+        assert outputs[0]["activation"] == int(true_sum >= threshold)
+
+    def test_threshold_boundary(self):
+        workload = _small_conv()
+        programs, order = workload.build_functional_group(NAND_LIBRARY)
+        operands = {
+            0: {"n0": 1, "w0": 1, "n1": 0, "w1": 0, "threshold": 2},
+            1: {"n0": 1, "w0": 1, "n1": 0, "w1": 0},
+        }
+        outputs, _ = evaluate_networked(programs, operands, order)
+        assert outputs[0]["activation"] == 1  # sum == threshold
+        operands[0]["threshold"] = 3
+        outputs, _ = evaluate_networked(programs, operands, order)
+        assert outputs[0]["activation"] == 0
+
+
+class TestMapping:
+    def test_two_roles(self, small_arch):
+        mapping = Convolution(bits=4).build(small_arch)
+        assert len(mapping.distinct_programs()) == 2
+
+    def test_every_fourth_lane_is_leader(self, small_arch):
+        # Fig. 15: "convolution is write-heavy in every fourth column".
+        workload = Convolution(bits=4)
+        mapping = workload.build(small_arch)
+        include = small_arch.presets_output
+        per_lane = {
+            lane: program.write_counts(include_presets=include).sum()
+            for lane, program in mapping.assignment.items()
+        }
+        leaders = [lane for lane in per_lane if lane % 4 == 0]
+        members = [lane for lane in per_lane if lane % 4 != 0]
+        assert min(per_lane[l] for l in leaders) > max(per_lane[m] for m in members)
+
+    def test_all_lanes_hosted(self, small_arch):
+        mapping = Convolution(bits=4).build(small_arch)
+        assert mapping.active_lane_count == small_arch.lane_count
+
+    def test_utilization_between_dot_and_mult(self):
+        from repro.array.architecture import default_architecture
+
+        arch = default_architecture()
+        conv_util = Convolution().build(arch).lane_utilization
+        # Paper Table 3: 84.78%; ours lands in the same band.
+        assert 0.7 < conv_util < 0.95
+
+    def test_array_too_small_rejected(self):
+        from repro.array.architecture import default_architecture
+
+        arch = default_architecture(64, 2)
+        with pytest.raises(ValueError, match="at least"):
+            Convolution(bits=4).build(arch)
+
+    def test_describe(self):
+        assert "filter" in Convolution().describe()

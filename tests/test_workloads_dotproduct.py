@@ -1,0 +1,108 @@
+"""Tests for repro.workloads.dotproduct."""
+
+import numpy as np
+import pytest
+
+from repro.gates.library import NAND_LIBRARY
+from repro.workloads.base import evaluate_networked
+from repro.workloads.dotproduct import DotProduct
+
+
+class TestRoleGeometry:
+    def test_send_rounds_for_n8(self):
+        workload = DotProduct(n_elements=8, bits=4)
+        assert [workload.send_round(j) for j in (4, 5, 6, 7)] == [1, 1, 1, 1]
+        assert [workload.send_round(j) for j in (2, 3)] == [2, 2]
+        assert workload.send_round(1) == 3
+
+    def test_root_receives_every_round(self):
+        workload = DotProduct(n_elements=16, bits=4)
+        assert workload.receive_rounds(0) == 4
+
+    def test_sender_receives_before_sending(self):
+        workload = DotProduct(n_elements=8, bits=4)
+        assert workload.receive_rounds(1) == 2
+        assert workload.receive_rounds(4) == 0
+
+    def test_send_round_rejects_root_and_out_of_range(self):
+        workload = DotProduct(n_elements=8, bits=4)
+        with pytest.raises(ValueError):
+            workload.send_round(0)
+        with pytest.raises(ValueError):
+            workload.send_round(8)
+
+    def test_partial_width_grows_one_bit_per_round(self):
+        workload = DotProduct(n_elements=8, bits=4)
+        assert workload.partial_width(0) == 8
+        assert workload.partial_width(3) == 11
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            DotProduct(n_elements=6)
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("n,bits", [(2, 4), (4, 4), (8, 3)])
+    def test_networked_evaluation_computes_dot_product(self, n, bits):
+        workload = DotProduct(n_elements=n, bits=bits)
+        programs, order = workload.build_functional(NAND_LIBRARY)
+        rng = np.random.default_rng(42)
+        a = rng.integers(0, 2**bits, size=n)
+        b = rng.integers(0, 2**bits, size=n)
+        operands = {
+            lane: {"a": int(a[lane]), "b": int(b[lane])} for lane in range(n)
+        }
+        outputs, _ = evaluate_networked(programs, operands, order)
+        assert outputs[0]["sum"] == int(np.dot(a, b))
+
+    def test_all_zero_and_all_max(self):
+        workload = DotProduct(n_elements=4, bits=3)
+        programs, order = workload.build_functional(NAND_LIBRARY)
+        zeros = {lane: {"a": 0, "b": 0} for lane in range(4)}
+        outputs, _ = evaluate_networked(programs, zeros, order)
+        assert outputs[0]["sum"] == 0
+        maxed = {lane: {"a": 7, "b": 7} for lane in range(4)}
+        outputs, _ = evaluate_networked(programs, maxed, order)
+        assert outputs[0]["sum"] == 4 * 49
+
+
+class TestMapping:
+    def test_role_count_is_rounds_plus_one(self, small_arch):
+        workload = DotProduct(n_elements=64, bits=8)
+        mapping = workload.build(small_arch)
+        assert len(mapping.distinct_programs()) == 6 + 1
+
+    def test_uses_n_lanes(self, small_arch):
+        mapping = DotProduct(n_elements=64, bits=8).build(small_arch)
+        assert mapping.active_lane_count == 64
+
+    def test_too_many_elements_rejected(self, tiny_arch):
+        with pytest.raises(ValueError, match="exceed"):
+            DotProduct(n_elements=128, bits=4).build(tiny_arch)
+
+    def test_root_lane_writes_most(self, small_arch):
+        # The root keeps receiving partial sums: the low-lane hot stripe
+        # of Fig. 16.
+        workload = DotProduct(n_elements=64, bits=8)
+        mapping = workload.build(small_arch)
+        include = small_arch.presets_output
+        per_lane = {
+            lane: program.write_counts(include_presets=include).sum()
+            for lane, program in mapping.assignment.items()
+        }
+        assert per_lane[0] == max(per_lane.values())
+        assert per_lane[0] > per_lane[63]
+
+    def test_utilization_below_multiplication(self, small_arch):
+        # Table 3 ordering: dot-product wastes lanes during the reduction.
+        mapping = DotProduct(n_elements=128, bits=8).build(small_arch)
+        assert 0.3 < mapping.lane_utilization < 0.95
+
+    def test_paper_scale_utilization(self):
+        # Paper Table 3 reports 65.2% for 1024 x 32-bit; ours lands close.
+        from repro.array.architecture import default_architecture
+
+        mapping = DotProduct(n_elements=1024, bits=32).build(
+            default_architecture()
+        )
+        assert mapping.lane_utilization == pytest.approx(0.652, abs=0.05)

@@ -1,0 +1,88 @@
+"""Tests for repro.workloads.multiply."""
+
+import pytest
+
+from repro.synth.bits import AllocationPolicy
+from repro.workloads.multiply import ParallelMultiplication
+
+
+class TestProgram:
+    def test_program_computes_products(self, small_arch):
+        workload = ParallelMultiplication(bits=8)
+        program = workload.build_program(small_arch)
+        for x, y in [(0, 0), (255, 255), (13, 19)]:
+            outputs, readouts = program.evaluate({"a": x, "b": y})
+            assert outputs["product"] == x * y
+            from repro.synth.bits import BitVector
+
+            assert BitVector.bits_value(readouts["product"]) == x * y
+
+    def test_program_reserves_spare_bit(self, small_arch):
+        program = ParallelMultiplication(bits=8).build_program(small_arch)
+        assert program.footprint <= small_arch.lane_size - 1
+
+    def test_workspace_limit_caps_footprint(self, small_arch):
+        workload = ParallelMultiplication(bits=8, workspace_limit=64)
+        program = workload.build_program(small_arch)
+        assert program.footprint <= 64
+
+
+class TestMapping:
+    def test_all_lanes_used_by_default(self, small_arch):
+        mapping = ParallelMultiplication(bits=8).build(small_arch)
+        assert mapping.active_lane_count == small_arch.lane_count
+
+    def test_all_lanes_share_one_program(self, small_arch):
+        mapping = ParallelMultiplication(bits=8).build(small_arch)
+        assert len(mapping.distinct_programs()) == 1
+
+    def test_utilization_is_100_percent(self, small_arch):
+        # Table 3: embarrassingly parallel multiplication, 100% utilization.
+        mapping = ParallelMultiplication(bits=8).build(small_arch)
+        assert mapping.lane_utilization == pytest.approx(1.0)
+
+    def test_lane_subset(self, small_arch):
+        mapping = ParallelMultiplication(bits=8, lanes=10).build(small_arch)
+        assert mapping.active_lane_count == 10
+        assert mapping.lane_utilization < 0.1
+
+    def test_presets_add_sequential_ops(self, small_arch, sense_amp_arch):
+        with_presets = ParallelMultiplication(bits=8).build(small_arch)
+        without = ParallelMultiplication(bits=8).build(sense_amp_arch)
+        assert with_presets.sequential_ops > without.sequential_ops
+
+    def test_iteration_latency_uses_3ns(self, small_arch):
+        mapping = ParallelMultiplication(bits=8).build(small_arch)
+        assert mapping.iteration_latency_s == pytest.approx(
+            mapping.sequential_ops * 3e-9
+        )
+
+    def test_writes_per_iteration_cover_all_lanes(self, small_arch):
+        full = ParallelMultiplication(bits=8).build(small_arch)
+        program = full.distinct_programs()[0]
+        per_lane = program.write_counts(include_presets=True).sum()
+        assert full.writes_per_iteration == per_lane * small_arch.lane_count
+
+    def test_too_many_lanes_rejected(self, tiny_arch):
+        with pytest.raises(ValueError, match="cannot place"):
+            ParallelMultiplication(bits=4, lanes=100).build(tiny_arch)
+
+
+class TestValidation:
+    def test_bad_bits_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelMultiplication(bits=1)
+
+    def test_bad_workspace_limit_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelMultiplication(bits=8, workspace_limit=0)
+
+    def test_describe_mentions_lanes(self):
+        assert "lanes" in ParallelMultiplication().describe()
+
+    def test_lowest_first_policy_shrinks_footprint(self, small_arch):
+        ring = ParallelMultiplication(bits=8).build_program(small_arch)
+        compact = ParallelMultiplication(
+            bits=8, allocation_policy=AllocationPolicy.LOWEST_FIRST
+        ).build_program(small_arch)
+        assert compact.footprint < ring.footprint

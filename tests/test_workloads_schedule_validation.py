@@ -1,0 +1,80 @@
+"""Every shipped workload's phase schedule must match its programs."""
+
+import pytest
+
+from repro.array.architecture import PINATUBO, default_architecture
+from repro.workloads.base import Phase, WorkloadMapping
+from repro.workloads.bnn import BinaryNeuron
+from repro.workloads.convolution import Convolution
+from repro.workloads.dotproduct import DotProduct
+from repro.workloads.matvec import MatrixVectorProduct
+from repro.workloads.multiply import ParallelMultiplication
+from repro.workloads.vectoradd import VectorAdd
+
+WORKLOADS = [
+    ParallelMultiplication(bits=16),
+    VectorAdd(bits=16),
+    DotProduct(n_elements=64, bits=8),
+    Convolution(bits=4),
+    MatrixVectorProduct(elements_per_row=16, bits=4),
+    BinaryNeuron(n_inputs=16),
+]
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+def test_schedules_are_exact_with_presets(workload):
+    mapping = workload.build(default_architecture(256, 256))
+    mapping.validate_schedule(tolerance=0.0)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+def test_schedules_are_exact_without_presets(workload):
+    mapping = workload.build(PINATUBO.resized(256, 256))
+    mapping.validate_schedule(tolerance=0.0)
+
+
+class TestValidatorCatchesDrift:
+    def _mapping(self):
+        return ParallelMultiplication(bits=8).build(
+            default_architecture(128, 64)
+        )
+
+    def test_missing_phase_work_detected(self):
+        mapping = self._mapping()
+        broken = WorkloadMapping(
+            workload_name=mapping.workload_name,
+            architecture=mapping.architecture,
+            assignment=mapping.assignment,
+            phases=mapping.phases[:-1],  # drop the read-out phase
+        )
+        with pytest.raises(ValueError, match="lane-ops"):
+            broken.validate_schedule()
+
+    def test_overcommitted_lane_detected(self):
+        mapping = self._mapping()
+        program = mapping.distinct_programs()[0]
+        # A schedule shorter than one lane's own instruction stream: total
+        # work is balanced away by inflating active lanes, but invariant 2
+        # still trips.
+        total = mapping.lane_work()
+        broken = WorkloadMapping(
+            workload_name=mapping.workload_name,
+            architecture=mapping.architecture,
+            assignment=mapping.assignment,
+            phases=[Phase("squeezed", 10, int(total // 10))],
+        )
+        with pytest.raises(ValueError, match="sequential slots"):
+            broken.validate_schedule(tolerance=0.01)
+
+    def test_tolerance_allows_small_drift(self):
+        mapping = self._mapping()
+        slightly_off = WorkloadMapping(
+            workload_name=mapping.workload_name,
+            architecture=mapping.architecture,
+            assignment=mapping.assignment,
+            phases=list(mapping.phases)
+            + [Phase("fudge", 1, 1)],
+        )
+        with pytest.raises(ValueError):
+            slightly_off.validate_schedule(tolerance=0.0)
+        slightly_off.validate_schedule(tolerance=0.01)

@@ -1,0 +1,67 @@
+"""Tests for repro.workloads.vectoradd."""
+
+import pytest
+
+from repro.workloads.conventional import ConventionalBaseline
+from repro.workloads.vectoradd import VectorAdd
+
+
+class TestProgram:
+    def test_computes_sums(self, small_arch):
+        program = VectorAdd(bits=8).build_program(small_arch)
+        for x, y in [(0, 0), (255, 255), (100, 27)]:
+            outputs, _ = program.evaluate({"a": x, "b": y})
+            assert outputs["sum"] == x + y
+
+    def test_gate_count_matches_library(self, small_arch):
+        program = VectorAdd(bits=8).build_program(small_arch)
+        assert program.gate_count == small_arch.library.adder_gates(8)
+
+
+class TestMapping:
+    def test_full_utilization(self, small_arch):
+        mapping = VectorAdd(bits=8).build(small_arch)
+        assert mapping.lane_utilization == pytest.approx(1.0)
+        assert mapping.active_lane_count == small_arch.lane_count
+
+    def test_far_cheaper_than_multiplication(self, small_arch):
+        from repro.workloads.multiply import ParallelMultiplication
+
+        add = VectorAdd(bits=8).build(small_arch)
+        mult = ParallelMultiplication(bits=8).build(small_arch)
+        assert add.writes_per_iteration < mult.writes_per_iteration / 5
+        assert add.sequential_ops < mult.sequential_ops / 3
+
+    def test_operation_costs(self, small_arch):
+        mapping = VectorAdd(bits=8).build(small_arch)
+        costs = mapping.operation_costs()
+        assert costs.latency_s == pytest.approx(
+            mapping.sequential_ops * 3e-9
+        )
+        assert costs.cell_writes == mapping.writes_per_iteration
+
+    def test_conventional_ratio_smaller_than_multiplys(self, small_arch):
+        # Addition's PIM write blow-up is far milder than multiplication's
+        # 150x (5b-3 gates vs 6b^2-8b), matching the Table 2 intuition.
+        baseline = ConventionalBaseline()
+        workload = VectorAdd(bits=8)
+        counts = baseline.traffic(workload)
+        assert counts.cell_reads == 16
+        assert counts.cell_writes == 9
+        mapping = workload.build(small_arch)
+        per_lane_writes = mapping.writes_per_iteration / mapping.active_lane_count
+        ratio = per_lane_writes / counts.cell_writes
+        assert ratio < 40
+
+
+class TestValidation:
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            VectorAdd(bits=1)
+
+    def test_lanes_validation(self, tiny_arch):
+        with pytest.raises(ValueError, match="cannot place"):
+            VectorAdd(bits=4, lanes=1000).build(tiny_arch)
+
+    def test_describe(self):
+        assert "addition" in VectorAdd().describe()
