@@ -31,6 +31,43 @@ class ArrayState:
         self.read_counts = np.zeros(shape, dtype=np.float64)
         self.failed = np.zeros(shape, dtype=bool)
 
+    @classmethod
+    def from_counts(
+        cls,
+        geometry: ArrayGeometry,
+        write_counts: np.ndarray,
+        read_counts: "np.ndarray | None" = None,
+    ) -> "ArrayState":
+        """Adopt existing counter matrices without zero-fill-and-copy.
+
+        The restore hot path: deserialized counters are taken by reference
+        (coerced to contiguous float64 only if needed), so rebuilding a
+        state costs nothing beyond coercion. ``read_counts=None`` means
+        "reads were not tracked" and yields zeros.
+
+        The zero planes (untracked reads, the failure mask) are
+        *read-only broadcast views*: restored states feed analyses, not
+        further simulation, and faulting in fresh zero pages for every
+        cache hit is the dominant cost of a warm-store load on slow VMs.
+        """
+        shape = (geometry.rows, geometry.cols)
+        write_counts = np.ascontiguousarray(write_counts, dtype=np.float64)
+        if read_counts is None:
+            read_counts = np.broadcast_to(np.float64(0.0), shape)
+        else:
+            read_counts = np.ascontiguousarray(read_counts, dtype=np.float64)
+        if write_counts.shape != shape or read_counts.shape != shape:
+            raise ValueError(
+                f"counter shape {write_counts.shape}/{read_counts.shape} "
+                f"does not match geometry {shape}"
+            )
+        state = cls.__new__(cls)
+        state.geometry = geometry
+        state.write_counts = write_counts
+        state.read_counts = read_counts
+        state.failed = np.broadcast_to(np.bool_(False), shape)
+        return state
+
     # -- single-cell events (exact replay path) -------------------------
 
     def record_write(self, lane: int, offset: int, orientation: Orientation) -> None:

@@ -8,6 +8,7 @@ Examples::
     repro-endurance heatmap --workload conv --config RaxRa+Hw --iterations 5000
     repro-endurance fig17 --workload dot --iterations 10000
     repro-endurance table3 --iterations 10000
+    repro-endurance table3 --iterations 10000 --jobs 4 --cache-dir .cache
     repro-endurance lifetime --technology RRAM
     repro-endurance fig11b
     repro-endurance report --workload dot --config RaxBs+Hw
@@ -84,6 +85,30 @@ def _make_simulator(args) -> EnduranceSimulator:
     return EnduranceSimulator(arch, seed=args.seed)
 
 
+def _engine_kwargs(args) -> dict:
+    """Engine routing options for commands that grew --jobs/--cache-dir."""
+    jobs = getattr(args, "jobs", 1)
+    cache_dir = getattr(args, "cache_dir", None)
+    hooks = None
+    if jobs > 1 or cache_dir:
+        from repro.engine import TextReporter
+
+        hooks = TextReporter()
+    return {"jobs": jobs, "cache_dir": cache_dir, "hooks": hooks}
+
+
+def _add_engine_flags(parser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the experiment engine (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="experiment-engine result store; completed cells are "
+             "reused and interrupted sweeps resume from it",
+    )
+
+
 def cmd_opcounts(args) -> None:
     """Section 3.1 operation-count claims."""
     bits = args.bits
@@ -124,7 +149,16 @@ def cmd_heatmap(args) -> None:
     sim = _make_simulator(args)
     workload = _make_workload(args.workload)
     config = BalanceConfig.from_label(args.config)
-    result = sim.run(workload, config, iterations=args.iterations)
+    if args.cache_dir or args.jobs > 1:
+        from repro.engine import run_simulation
+
+        engine_kwargs = _engine_kwargs(args)
+        result = run_simulation(
+            workload, config, sim.architecture, args.iterations,
+            seed=args.seed, **engine_kwargs,
+        )
+    else:
+        result = sim.run(workload, config, iterations=args.iterations)
     dist = result.write_distribution
     print(dist.ascii_heatmap(blocks=(args.rows // 32, args.cols // 16)))
     print()
@@ -135,7 +169,9 @@ def cmd_fig17(args) -> None:
     """Fig. 17: lifetime improvement across the 18 configurations."""
     sim = _make_simulator(args)
     workload = _make_workload(args.workload)
-    entries = configuration_grid(sim, workload, iterations=args.iterations)
+    entries = configuration_grid(
+        sim, workload, iterations=args.iterations, **_engine_kwargs(args)
+    )
     print(format_fig17(entries, workload.name))
     print(format_heatmap_stats([e.result.write_distribution for e in entries]))
 
@@ -143,14 +179,17 @@ def cmd_fig17(args) -> None:
 def cmd_table3(args) -> None:
     """Table 3: utilization and best lifetime improvement per benchmark."""
     sim = _make_simulator(args)
+    engine_kwargs = _engine_kwargs(args)
     summaries = []
     for name in ("mult", "conv", "dot"):
         workload = _make_workload(name)
-        entries = configuration_grid(sim, workload, iterations=args.iterations)
+        entries = configuration_grid(
+            sim, workload, iterations=args.iterations, **engine_kwargs
+        )
         best = best_improvement(entries)
-        mapping = entries[0].result.mapping
         summaries.append(
-            (workload.name, mapping.lane_utilization, best.improvement)
+            (workload.name, entries[0].result.lane_utilization,
+             best.improvement)
         )
     print(format_table3(summaries))
 
@@ -201,6 +240,7 @@ def cmd_remap_sweep(args) -> None:
         _make_workload(args.workload),
         intervals=tuple(args.intervals),
         iterations=args.iterations,
+        **_engine_kwargs(args),
     )
     print(format_remap_frequency(improvements))
 
@@ -309,15 +349,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", default="mult", choices=sorted(_WORKLOADS))
     p.add_argument("--config", default="StxSt")
     p.add_argument("--iterations", type=int, default=5000)
+    _add_engine_flags(p)
     p.set_defaults(func=cmd_heatmap)
 
     p = sub.add_parser("fig17", help="Fig. 17 lifetime improvements")
     p.add_argument("--workload", default="mult", choices=sorted(_WORKLOADS))
     p.add_argument("--iterations", type=int, default=10000)
+    _add_engine_flags(p)
     p.set_defaults(func=cmd_fig17)
 
     p = sub.add_parser("table3", help="Table 3 summary")
     p.add_argument("--iterations", type=int, default=10000)
+    _add_engine_flags(p)
     p.set_defaults(func=cmd_table3)
 
     p = sub.add_parser("lifetime", help="lifetime bounds + technology sweep")
@@ -360,6 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--intervals", type=int, nargs="+",
         default=[10000, 1000, 500, 100, 50, 10],
     )
+    _add_engine_flags(p)
     p.set_defaults(func=cmd_remap_sweep)
 
     return parser

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -25,15 +25,14 @@ from repro.core.writedist import WriteDistribution
 _FORMAT_VERSION = 1
 
 
-def save_result(result: SimulationResult, path: str) -> None:
-    """Save a simulation result's counters and metadata to ``path``.
+def result_metadata(result: SimulationResult) -> dict:
+    """The JSON-able metadata block describing one result.
 
-    The workload mapping itself (programs, schedule) is not serialized;
-    the per-iteration latency and per-iteration write/read totals it
-    determines are stored instead, which is what every lifetime analysis
-    consumes.
+    Everything a :class:`LoadedResult` needs besides the counter arrays.
+    Works on any result-like object (:class:`SimulationResult` or an
+    already-restored :class:`LoadedResult`).
     """
-    metadata = {
+    return {
         "format_version": _FORMAT_VERSION,
         "workload_name": result.workload_name,
         "config_label": result.config.label,
@@ -46,14 +45,33 @@ def save_result(result: SimulationResult, path: str) -> None:
         "technology": result.architecture.technology.name,
         "architecture": result.architecture.name,
         "iteration_latency_s": result.iteration_latency_s,
-        "lane_utilization": result.mapping.lane_utilization,
+        "lane_utilization": result.lane_utilization,
     }
-    np.savez_compressed(
-        path,
-        write_counts=result.state.write_counts,
-        read_counts=result.state.read_counts,
-        metadata=json.dumps(metadata),
-    )
+
+
+def save_result(
+    result: SimulationResult, path: str, compress: bool = True
+) -> None:
+    """Save a simulation result's counters and metadata to ``path``.
+
+    The workload mapping itself (programs, schedule) is not serialized;
+    the per-iteration latency and per-iteration write/read totals it
+    determines are stored instead, which is what every lifetime analysis
+    consumes.
+
+    Args:
+        compress: Deflate the counter arrays (smallest files, for export
+            artifacts). The engine's result store passes ``False``: its
+            entries are a throughput-critical cache, and zlib costs more
+            wall clock than the bytes are worth there.
+    """
+    writer = np.savez_compressed if compress else np.savez
+    arrays = {"write_counts": result.state.write_counts}
+    # An untracked read distribution is a matrix of zeros; storing it
+    # raw would double every entry for no information.
+    if result.state.read_counts.any():
+        arrays["read_counts"] = result.state.read_counts
+    writer(path, metadata=json.dumps(result_metadata(result)), **arrays)
 
 
 @dataclass
@@ -101,16 +119,20 @@ class LoadedResult:
         )
 
 
-def load_result(path: str) -> LoadedResult:
-    """Restore a result saved with :func:`save_result`.
+def restore_result(
+    metadata: dict,
+    write_counts: np.ndarray,
+    read_counts: Optional[np.ndarray] = None,
+) -> LoadedResult:
+    """Rebuild a :class:`LoadedResult` from its metadata block and counters.
+
+    The inverse of (:func:`result_metadata`, the counter arrays); also the
+    experiment engine's in-memory transport between worker processes.
+    ``read_counts=None`` means "reads were not tracked" (all zeros).
 
     Raises:
-        ValueError: if the file was written by an incompatible version.
+        ValueError: if the metadata was written by an incompatible version.
     """
-    with np.load(path, allow_pickle=False) as archive:
-        metadata = json.loads(str(archive["metadata"]))
-        write_counts = archive["write_counts"]
-        read_counts = archive["read_counts"]
     version = metadata.get("format_version")
     if version != _FORMAT_VERSION:
         raise ValueError(
@@ -129,9 +151,9 @@ def load_result(path: str) -> LoadedResult:
             architecture,
             orientation=Orientation(metadata["orientation"]),
         )
-    state = ArrayState(architecture.geometry)
-    state.write_counts[:] = write_counts
-    state.read_counts[:] = read_counts
+    state = ArrayState.from_counts(
+        architecture.geometry, write_counts, read_counts
+    )
     return LoadedResult(
         workload_name=metadata["workload_name"],
         config=BalanceConfig.from_label(
@@ -145,6 +167,21 @@ def load_result(path: str) -> LoadedResult:
         iteration_latency_s=metadata["iteration_latency_s"],
         lane_utilization=metadata["lane_utilization"],
     )
+
+
+def load_result(path: str) -> LoadedResult:
+    """Restore a result saved with :func:`save_result`.
+
+    Raises:
+        ValueError: if the file was written by an incompatible version.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = json.loads(str(archive["metadata"]))
+        write_counts = archive["write_counts"]
+        read_counts = (
+            archive["read_counts"] if "read_counts" in archive.files else None
+        )
+    return restore_result(metadata, write_counts, read_counts)
 
 
 def save_distributions_csv(

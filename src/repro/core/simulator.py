@@ -24,7 +24,7 @@ the new software mapping. Configurations without any software re-mapping
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
@@ -92,6 +92,15 @@ class SimulationResult:
     def iteration_latency_s(self) -> float:
         """One iteration's latency (3 ns per sequential op, Section 4)."""
         return self.mapping.iteration_latency_s
+
+    @property
+    def lane_utilization(self) -> float:
+        """Average lane utilization (Table 3), from the mapping's schedule.
+
+        Exposed directly so results restored from disk (which carry no
+        mapping object) present the same surface.
+        """
+        return self.mapping.lane_utilization
 
 
 class EnduranceSimulator:
@@ -203,7 +212,9 @@ class EnduranceSimulator:
     # ------------------------------------------------------------------
 
     def _mapping_for(self, workload: Workload) -> WorkloadMapping:
-        key = workload.name
+        # Keyed by the full parameter signature, not the display name: two
+        # instances may share a name yet build different mappings.
+        key = workload.signature
         cached = self._mapping_cache.get(key)
         if cached is None or cached.architecture is not self.architecture:
             cached = workload.build(self.architecture)

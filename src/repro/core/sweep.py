@@ -28,7 +28,12 @@ from repro.workloads.base import Workload
 
 @dataclass
 class GridEntry:
-    """One cell of a configuration grid."""
+    """One cell of a configuration grid.
+
+    ``result`` is a full :class:`SimulationResult` on the in-process path
+    and a store-restored result (same counters and metadata surface) when
+    the grid ran through the experiment engine.
+    """
 
     config: BalanceConfig
     result: SimulationResult
@@ -41,17 +46,90 @@ class GridEntry:
         return self.config.label
 
 
+def simulate_configs(
+    simulator: EnduranceSimulator,
+    workload: Workload,
+    configs: Sequence[BalanceConfig],
+    iterations: int,
+    track_reads: bool = False,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    hooks=None,
+) -> Dict[BalanceConfig, SimulationResult]:
+    """Simulate a list of configurations once each, in the given order.
+
+    The shared backbone of :func:`configuration_grid` and
+    :func:`remap_frequency_sweep` (both list their baseline first).
+    Duplicate configurations are simulated once. With ``jobs > 1`` or a
+    ``cache_dir``, the batch routes through :mod:`repro.engine` —
+    parallel workers, disk-cached results, resumable after interruption —
+    and is bit-identical to the in-process path because every job runs on
+    a fresh simulator seeded with ``simulator.seed``.
+
+    Raises:
+        repro.engine.EngineError: if any engine-routed job fails.
+    """
+    ordered = list(dict.fromkeys(configs))
+    if jobs <= 1 and cache_dir is None:
+        return {
+            config: simulator.run(
+                workload, config, iterations, track_reads=track_reads
+            )
+            for config in ordered
+        }
+    # Imported lazily: repro.engine depends on this package.
+    from repro.engine import (
+        ExperimentEngine,
+        JobSpec,
+        ResultStore,
+        require_ok,
+    )
+
+    specs = [
+        JobSpec(
+            workload=workload,
+            architecture=simulator.architecture,
+            config=config,
+            iterations=iterations,
+            seed=simulator.seed,
+            track_reads=track_reads,
+        )
+        for config in ordered
+    ]
+    engine = ExperimentEngine(
+        store=ResultStore(cache_dir) if cache_dir else None,
+        jobs=jobs,
+        hooks=hooks,
+    )
+    outcomes = require_ok(engine.run(specs))
+    return {
+        config: outcome.result
+        for config, outcome in zip(ordered, outcomes)
+    }
+
+
 def configuration_grid(
     simulator: EnduranceSimulator,
     workload: Workload,
     iterations: int = 100_000,
     configs: Optional[Sequence[BalanceConfig]] = None,
     track_reads: bool = False,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    hooks=None,
 ) -> List[GridEntry]:
     """Simulate a workload under every balance configuration.
 
     Improvements are relative to the static baseline (``St x St``), which
     is always included (and simulated first) even if ``configs`` omits it.
+
+    Args:
+        jobs: Worker processes; ``> 1`` fans the grid out over a process
+            pool via :mod:`repro.engine`.
+        cache_dir: Engine result store; completed cells are reused across
+            runs and an interrupted grid resumes from them.
+        hooks: Engine progress hooks (e.g.
+            :class:`repro.engine.TextReporter`).
 
     Returns:
         Grid entries in the order of :func:`all_configurations` (or the
@@ -61,26 +139,26 @@ def configuration_grid(
     baseline_config = next(
         (c for c in config_list if c.is_static), BalanceConfig()
     )
-    baseline = simulator.run(
-        workload, baseline_config, iterations, track_reads=track_reads
+    results = simulate_configs(
+        simulator,
+        workload,
+        [baseline_config] + config_list,
+        iterations,
+        track_reads=track_reads,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        hooks=hooks,
     )
-    entries: List[GridEntry] = []
-    for config in config_list:
-        if config == baseline_config:
-            result = baseline
-        else:
-            result = simulator.run(
-                workload, config, iterations, track_reads=track_reads
-            )
-        entries.append(
-            GridEntry(
-                config=config,
-                result=result,
-                lifetime=lifetime_from_result(result),
-                improvement=lifetime_improvement(result, baseline),
-            )
+    baseline = results[baseline_config]
+    return [
+        GridEntry(
+            config=config,
+            result=results[config],
+            lifetime=lifetime_from_result(results[config]),
+            improvement=lifetime_improvement(results[config], baseline),
         )
-    return entries
+        for config in config_list
+    ]
 
 
 def best_improvement(entries: Sequence[GridEntry]) -> GridEntry:
@@ -96,6 +174,9 @@ def remap_frequency_sweep(
     intervals: Sequence[int] = (10_000, 1_000, 500, 100, 50, 10),
     iterations: int = 100_000,
     base_config: Optional[BalanceConfig] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    hooks=None,
 ) -> Dict[int, float]:
     """Lifetime improvement versus recompile interval (Section 5).
 
@@ -111,6 +192,9 @@ def remap_frequency_sweep(
         iterations: Total iterations per run.
         base_config: Strategy pair to sweep (default Ra x Ra, the most
             re-mapping-sensitive software configuration).
+        jobs: Worker processes for the engine-routed path.
+        cache_dir: Engine result store (reuse/resume across runs).
+        hooks: Engine progress hooks.
 
     Returns:
         Interval -> lifetime improvement over the static baseline.
@@ -121,19 +205,26 @@ def remap_frequency_sweep(
         base_config = BalanceConfig(
             within=StrategyKind.RANDOM, between=StrategyKind.RANDOM
         )
-    baseline = simulator.run(
-        workload, BalanceConfig(), iterations, track_reads=False
+    baseline_config = BalanceConfig()
+    swept = {
+        interval: base_config.with_interval(interval)
+        for interval in intervals
+    }
+    results = simulate_configs(
+        simulator,
+        workload,
+        [baseline_config] + list(swept.values()),
+        iterations,
+        track_reads=False,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        hooks=hooks,
     )
-    improvements: Dict[int, float] = {}
-    for interval in intervals:
-        result = simulator.run(
-            workload,
-            base_config.with_interval(interval),
-            iterations,
-            track_reads=False,
-        )
-        improvements[interval] = lifetime_improvement(result, baseline)
-    return improvements
+    baseline = results[baseline_config]
+    return {
+        interval: lifetime_improvement(results[config], baseline)
+        for interval, config in swept.items()
+    }
 
 
 def technology_sweep(

@@ -1,0 +1,83 @@
+"""Experiment orchestration: declarative, cached, parallel, resumable.
+
+The evaluation is a grid — benchmarks x 18 balance configurations x
+sweeps — and this package turns its ad-hoc loops into batches of
+content-addressed jobs:
+
+* :class:`JobSpec` — one simulation, hashed over everything that
+  determines its outcome;
+* :class:`ResultStore` — a disk cache of completed jobs (``.npz`` +
+  JSON sidecar, atomic writes), which doubles as the checkpoint an
+  interrupted grid resumes from;
+* :class:`ExperimentEngine` — serial or process-pool execution with
+  bounded retries, per-job timeouts, and failure containment;
+* :class:`EngineHooks` / :class:`TextReporter` — progress and metrics.
+
+`repro.core.sweep` routes its grids through this layer (``jobs=`` /
+``cache_dir=``), as do the ``table3`` / ``fig17`` / ``heatmap`` /
+``remap-sweep`` CLI commands (``--jobs`` / ``--cache-dir``).
+"""
+
+from repro.engine.hooks import BatchMetrics, EngineHooks, TextReporter
+from repro.engine.runner import (
+    EngineError,
+    ExperimentEngine,
+    JobOutcome,
+    JobStatus,
+    execute_spec,
+    require_ok,
+)
+from repro.engine.spec import SPEC_VERSION, JobSpec
+from repro.engine.store import ResultStore
+
+__all__ = [
+    "BatchMetrics",
+    "EngineError",
+    "EngineHooks",
+    "ExperimentEngine",
+    "JobOutcome",
+    "JobStatus",
+    "JobSpec",
+    "ResultStore",
+    "SPEC_VERSION",
+    "TextReporter",
+    "execute_spec",
+    "require_ok",
+    "run_simulation",
+]
+
+
+def run_simulation(
+    workload,
+    config,
+    architecture,
+    iterations,
+    seed=0,
+    track_reads=True,
+    jobs=1,
+    cache_dir=None,
+    hooks=None,
+):
+    """Resolve one simulation through the engine (cache-aware).
+
+    The single-run counterpart of the sweep entry points: builds the spec,
+    consults/populates ``cache_dir`` when given, and returns the result.
+
+    Raises:
+        EngineError: if the job fails after its retries.
+    """
+    spec = JobSpec(
+        workload=workload,
+        architecture=architecture,
+        config=config,
+        iterations=iterations,
+        seed=seed,
+        track_reads=track_reads,
+    )
+    engine = ExperimentEngine(
+        store=ResultStore(cache_dir) if cache_dir else None,
+        jobs=jobs,
+        hooks=hooks,
+    )
+    outcome = require_ok([engine.run_one(spec)])[0]
+    return outcome.result

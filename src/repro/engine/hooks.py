@@ -1,0 +1,127 @@
+"""Progress and metrics hooks for the experiment engine.
+
+The engine reports its life cycle through an :class:`EngineHooks` object:
+batch start (with the cache-hit census), each job's completion, and batch
+end (with aggregate :class:`BatchMetrics`). :class:`TextReporter` is the
+plain-text implementation the CLI uses; tests install counting hooks to
+assert how much work a batch actually performed.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, TextIO
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.engine.runner import JobOutcome
+    from repro.engine.spec import JobSpec
+
+
+@dataclass
+class BatchMetrics:
+    """Aggregate counters for one engine batch.
+
+    Attributes:
+        total: Jobs requested (after in-batch deduplication).
+        completed: Jobs simulated successfully this run.
+        cached: Jobs answered from the result store.
+        failed: Jobs that exhausted their retries (or timed out).
+        wall_s: Batch wall-clock time.
+        job_wall_s: Per-job simulation wall times, completed jobs only.
+    """
+
+    total: int = 0
+    completed: int = 0
+    cached: int = 0
+    failed: int = 0
+    wall_s: float = 0.0
+    job_wall_s: List[float] = field(default_factory=list)
+
+    @property
+    def done(self) -> int:
+        """Jobs resolved so far (any outcome)."""
+        return self.completed + self.cached + self.failed
+
+    @property
+    def cells_per_second(self) -> float:
+        """Grid cells resolved per second of batch wall clock."""
+        if self.wall_s <= 0:
+            return 0.0
+        return (self.completed + self.cached) / self.wall_s
+
+    @property
+    def mean_job_wall_s(self) -> float:
+        """Mean simulation time of the jobs actually run."""
+        if not self.job_wall_s:
+            return 0.0
+        return sum(self.job_wall_s) / len(self.job_wall_s)
+
+
+class EngineHooks:
+    """No-op base class; override the callbacks you care about."""
+
+    def on_batch_start(self, total: int, cached: int) -> None:
+        """Called once per batch, after the cache probe."""
+
+    def on_job_start(self, spec: "JobSpec") -> None:
+        """Called when a job is (re)submitted for simulation."""
+
+    def on_job_end(self, outcome: "JobOutcome") -> None:
+        """Called when a job resolves (completed, cached, or failed)."""
+
+    def on_batch_end(self, metrics: BatchMetrics) -> None:
+        """Called once per batch with the final metrics."""
+
+
+class TextReporter(EngineHooks):
+    """Plain-text progress reporting, one line per event.
+
+    Args:
+        stream: Where to write (default stderr, keeping stdout artifacts
+            clean for redirection).
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._total = 0
+        self._seen = 0
+
+    def _emit(self, text: str) -> None:
+        print(text, file=self.stream, flush=True)
+
+    def on_batch_start(self, total: int, cached: int) -> None:
+        self._total = total
+        self._seen = cached
+        self._emit(
+            f"[engine] {total} job(s): {cached} cached, "
+            f"{total - cached} to simulate"
+        )
+
+    def on_job_end(self, outcome: "JobOutcome") -> None:
+        from repro.engine.runner import JobStatus
+
+        if outcome.status is JobStatus.CACHED:
+            return  # the batch-start census already covered cache hits
+        self._seen += 1
+        if outcome.status is JobStatus.FAILED:
+            first_line = (outcome.error or "").strip().splitlines()
+            reason = first_line[-1] if first_line else "unknown error"
+            self._emit(
+                f"[engine] {self._seen}/{self._total} FAILED "
+                f"{outcome.spec.label}: {reason}"
+            )
+        else:
+            self._emit(
+                f"[engine] {self._seen}/{self._total} done "
+                f"{outcome.spec.label} ({outcome.wall_s:.2f}s)"
+            )
+
+    def on_batch_end(self, metrics: BatchMetrics) -> None:
+        self._emit(
+            f"[engine] batch done in {metrics.wall_s:.2f}s: "
+            f"{metrics.completed} simulated, {metrics.cached} cached, "
+            f"{metrics.failed} failed "
+            f"({metrics.cells_per_second:.2f} cells/s, "
+            f"mean job {metrics.mean_job_wall_s:.2f}s)"
+        )

@@ -1,0 +1,389 @@
+"""The experiment engine: cached, parallel, fault-tolerant job execution.
+
+:class:`ExperimentEngine` takes a batch of :class:`~repro.engine.spec.JobSpec`
+and resolves each one by (in order): answering from the result store,
+simulating in-process (``jobs <= 1``), or simulating on a
+``ProcessPoolExecutor``. Failures are contained — a job that exhausts its
+bounded retries is recorded with its traceback and the rest of the batch
+proceeds. Because every completed job lands in the store before its
+outcome is reported, an interrupted batch is a checkpoint: re-running the
+same specs re-simulates only the jobs that had not finished.
+
+Each job builds a **fresh** :class:`EnduranceSimulator` seeded from its
+spec, and the simulator draws a fresh RNG stream per run, so results are
+bit-identical regardless of worker count or execution order.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.io import LoadedResult, restore_result, result_metadata
+from repro.core.simulator import EnduranceSimulator, SimulationResult
+from repro.engine.hooks import BatchMetrics, EngineHooks
+from repro.engine.spec import JobSpec
+from repro.engine.store import ResultStore
+
+
+class JobStatus(Enum):
+    """How a job was resolved."""
+
+    COMPLETED = "completed"  #: simulated this run
+    CACHED = "cached"  #: answered from the result store
+    FAILED = "failed"  #: retries exhausted (or timed out)
+
+
+@dataclass
+class JobOutcome:
+    """One job's resolution.
+
+    Attributes:
+        spec: The job.
+        status: How it resolved.
+        result: The simulation result (``None`` when failed). In-process
+            runs yield full :class:`SimulationResult` objects; pool and
+            cache paths yield :class:`LoadedResult` with identical
+            counters and metadata.
+        error: Formatted traceback of the last failure, if any.
+        wall_s: Simulation wall-clock (0 for cache hits).
+        attempts: Simulation attempts made (0 for cache hits).
+    """
+
+    spec: JobSpec
+    status: JobStatus
+    result: Optional[Union[SimulationResult, LoadedResult]] = None
+    error: Optional[str] = None
+    wall_s: float = 0.0
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced a usable result."""
+        return self.status is not JobStatus.FAILED
+
+
+class EngineError(RuntimeError):
+    """Raised by callers that require every job of a batch to succeed."""
+
+    def __init__(self, outcomes: Sequence[JobOutcome]) -> None:
+        self.failures = [o for o in outcomes if not o.ok]
+        lines = []
+        for outcome in self.failures:
+            tail = (outcome.error or "").strip().splitlines()
+            lines.append(
+                f"  {outcome.spec.label}: "
+                f"{tail[-1] if tail else 'unknown error'}"
+            )
+        super().__init__(
+            f"{len(self.failures)} job(s) failed:\n" + "\n".join(lines)
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution (top level so it pickles for the process pool)
+# ----------------------------------------------------------------------
+
+
+def execute_spec(spec: JobSpec) -> SimulationResult:
+    """Run one spec on a fresh, spec-seeded simulator."""
+    simulator = EnduranceSimulator(spec.architecture, seed=spec.seed)
+    return simulator.run(
+        spec.workload,
+        spec.config,
+        spec.iterations,
+        track_reads=spec.track_reads,
+    )
+
+
+def _pool_worker(
+    spec: JobSpec, store_root: Optional[str]
+) -> Tuple[float, Optional[Tuple[dict, np.ndarray, Optional[np.ndarray]]]]:
+    """Simulate ``spec``; persist to the store or ship counters back.
+
+    Returns ``(wall_s, payload)`` where ``payload`` is ``None`` when the
+    result was saved to the store (the parent reloads it from disk) and
+    otherwise the ``(metadata, write_counts, read_counts)`` triple —
+    with ``read_counts=None`` when reads were untracked, so a matrix of
+    zeros never crosses the process pipe.
+    """
+    start = time.perf_counter()
+    result = execute_spec(spec)
+    wall = time.perf_counter() - start
+    if store_root is not None:
+        ResultStore(store_root).save(spec, result, wall_s=wall)
+        return wall, None
+    read_counts = result.state.read_counts
+    return wall, (
+        result_metadata(result),
+        result.state.write_counts,
+        read_counts if read_counts.any() else None,
+    )
+
+
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _PendingJob:
+    """Book-keeping for one in-flight pool job."""
+
+    index: int
+    spec: JobSpec
+    attempts: int
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+
+class ExperimentEngine:
+    """Resolves job batches with caching, parallelism, and retries.
+
+    Args:
+        store: Optional result store; when set, completed jobs persist
+            there and matching jobs are answered without simulating.
+        jobs: Worker processes. ``<= 1`` runs in-process (no pool).
+        retries: Re-attempts after a job's first failure.
+        backoff_s: Base sleep before retry ``n`` (grows as ``2**(n-1)``).
+        timeout_s: Per-job wall-clock limit, **pool mode only** (an
+            in-process simulation cannot be interrupted). A timed-out
+            job is cancelled if it has not started; a running job's
+            result is abandoned. Timeouts consume retries.
+        hooks: Progress/metrics callbacks.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        jobs: int = 1,
+        retries: int = 1,
+        backoff_s: float = 0.5,
+        timeout_s: Optional[float] = None,
+        hooks: Optional[EngineHooks] = None,
+    ) -> None:
+        if jobs < 0:
+            raise ValueError("jobs must be non-negative")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.store = store
+        self.jobs = jobs
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.timeout_s = timeout_s
+        self.hooks = hooks or EngineHooks()
+
+    # -- public API -----------------------------------------------------
+
+    def run_one(self, spec: JobSpec) -> JobOutcome:
+        """Resolve a single job (convenience wrapper over :meth:`run`)."""
+        return self.run([spec])[0]
+
+    def run(self, specs: Sequence[JobSpec]) -> List[JobOutcome]:
+        """Resolve every spec; outcomes keep the caller's order.
+
+        Specs with identical content hashes are simulated once and share
+        an outcome. Failed jobs are reported, not raised — use
+        :func:`require_ok` when partial batches are unacceptable.
+        """
+        specs = list(specs)
+        start = time.perf_counter()
+        metrics = BatchMetrics()
+        outcomes: Dict[int, JobOutcome] = {}
+
+        # Deduplicate by content hash; the first occurrence leads.
+        leaders: Dict[str, int] = {}
+        followers: Dict[int, int] = {}
+        for index, spec in enumerate(specs):
+            digest = spec.content_hash
+            if digest in leaders:
+                followers[index] = leaders[digest]
+            else:
+                leaders[digest] = index
+        metrics.total = len(leaders)
+
+        # Cache probe.
+        to_run: List[int] = []
+        for digest, index in leaders.items():
+            cached = self.store.load(digest) if self.store else None
+            if cached is not None:
+                outcomes[index] = JobOutcome(
+                    spec=specs[index], status=JobStatus.CACHED, result=cached
+                )
+                metrics.cached += 1
+            else:
+                to_run.append(index)
+        self.hooks.on_batch_start(metrics.total, metrics.cached)
+        for index in outcomes:
+            self.hooks.on_job_end(outcomes[index])
+
+        if to_run:
+            if self.jobs <= 1:
+                self._run_serial(specs, to_run, outcomes, metrics)
+            else:
+                self._run_pool(specs, to_run, outcomes, metrics)
+
+        metrics.wall_s = time.perf_counter() - start
+        self.hooks.on_batch_end(metrics)
+        for index, leader in followers.items():
+            lead = outcomes[leader]
+            outcomes[index] = JobOutcome(
+                spec=specs[index],
+                status=lead.status,
+                result=lead.result,
+                error=lead.error,
+                wall_s=0.0,
+                attempts=0,
+            )
+        return [outcomes[index] for index in range(len(specs))]
+
+    # -- serial path ----------------------------------------------------
+
+    def _run_serial(
+        self,
+        specs: Sequence[JobSpec],
+        to_run: Sequence[int],
+        outcomes: Dict[int, JobOutcome],
+        metrics: BatchMetrics,
+    ) -> None:
+        for index in to_run:
+            spec = specs[index]
+            error = None
+            for attempt in range(1, self.retries + 2):
+                self.hooks.on_job_start(spec)
+                start = time.perf_counter()
+                try:
+                    result = execute_spec(spec)
+                except Exception:
+                    error = traceback.format_exc()
+                    if attempt <= self.retries:
+                        time.sleep(self.backoff_s * 2 ** (attempt - 1))
+                    continue
+                wall = time.perf_counter() - start
+                if self.store is not None:
+                    self.store.save(spec, result, wall_s=wall)
+                outcomes[index] = JobOutcome(
+                    spec=spec,
+                    status=JobStatus.COMPLETED,
+                    result=result,
+                    wall_s=wall,
+                    attempts=attempt,
+                )
+                metrics.completed += 1
+                metrics.job_wall_s.append(wall)
+                break
+            else:
+                outcomes[index] = JobOutcome(
+                    spec=spec,
+                    status=JobStatus.FAILED,
+                    error=error,
+                    attempts=self.retries + 1,
+                )
+                metrics.failed += 1
+            self.hooks.on_job_end(outcomes[index])
+
+    # -- pool path ------------------------------------------------------
+
+    def _run_pool(
+        self,
+        specs: Sequence[JobSpec],
+        to_run: Sequence[int],
+        outcomes: Dict[int, JobOutcome],
+        metrics: BatchMetrics,
+    ) -> None:
+        store_root = str(self.store.root) if self.store is not None else None
+        abandoned_running = False
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        pending: Dict[Future, _PendingJob] = {}
+
+        def submit(index: int, attempts: int) -> None:
+            spec = specs[index]
+            self.hooks.on_job_start(spec)
+            future = pool.submit(_pool_worker, spec, store_root)
+            pending[future] = _PendingJob(index, spec, attempts)
+
+        def resolve_failure(job: _PendingJob, error: str) -> bool:
+            """Retry if budget remains; otherwise record the failure."""
+            if job.attempts <= self.retries:
+                time.sleep(self.backoff_s * 2 ** (job.attempts - 1))
+                submit(job.index, job.attempts + 1)
+                return False
+            outcomes[job.index] = JobOutcome(
+                spec=job.spec,
+                status=JobStatus.FAILED,
+                error=error,
+                attempts=job.attempts,
+            )
+            metrics.failed += 1
+            self.hooks.on_job_end(outcomes[job.index])
+            return True
+
+        try:
+            for index in to_run:
+                submit(index, attempts=1)
+            while pending:
+                poll = 0.1 if self.timeout_s is not None else None
+                done, _ = wait(
+                    set(pending), timeout=poll, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    job = pending.pop(future)
+                    try:
+                        wall, payload = future.result()
+                    except Exception as exc:
+                        error = "".join(
+                            traceback.format_exception(
+                                type(exc), exc, exc.__traceback__
+                            )
+                        )
+                        resolve_failure(job, error)
+                        continue
+                    if payload is None:
+                        result = self.store.load(job.spec)
+                        if result is None:  # store vanished under us
+                            resolve_failure(
+                                job,
+                                "result store entry missing after save "
+                                f"({job.spec.label})",
+                            )
+                            continue
+                    else:
+                        result = restore_result(*payload)
+                    outcomes[job.index] = JobOutcome(
+                        spec=job.spec,
+                        status=JobStatus.COMPLETED,
+                        result=result,
+                        wall_s=wall,
+                        attempts=job.attempts,
+                    )
+                    metrics.completed += 1
+                    metrics.job_wall_s.append(wall)
+                    self.hooks.on_job_end(outcomes[job.index])
+                if self.timeout_s is None:
+                    continue
+                now = time.perf_counter()
+                for future, job in list(pending.items()):
+                    if now - job.submitted_at <= self.timeout_s:
+                        continue
+                    if not future.cancel():
+                        abandoned_running = True
+                    del pending[future]
+                    resolve_failure(
+                        job,
+                        f"TimeoutError: job exceeded {self.timeout_s}s "
+                        f"({job.spec.label})",
+                    )
+        finally:
+            # A worker stuck past its timeout would block a clean join.
+            pool.shutdown(wait=not abandoned_running, cancel_futures=True)
+
+
+def require_ok(outcomes: Sequence[JobOutcome]) -> List[JobOutcome]:
+    """Return ``outcomes`` unchanged, raising :class:`EngineError` if any
+    job failed."""
+    if any(not outcome.ok for outcome in outcomes):
+        raise EngineError(outcomes)
+    return list(outcomes)

@@ -1,0 +1,82 @@
+"""Declarative experiment jobs with stable content hashes.
+
+A :class:`JobSpec` captures everything that determines a simulation's
+outcome — workload (by full parameter signature), balance configuration,
+architecture, iteration count, seed, and whether reads are tracked — and
+hashes it. Two specs with equal hashes produce bit-identical results, so
+the hash doubles as the result store's cache key and as the checkpoint
+identity for resumable grids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.array.architecture import PIMArchitecture
+from repro.balance.config import BalanceConfig
+from repro.workloads.base import Workload
+
+#: Bump when the simulation semantics change in a way that invalidates
+#: previously cached results.
+SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of simulation work, content-addressable.
+
+    Attributes:
+        workload: The benchmark kernel (identified by its ``signature``).
+        architecture: Target PIM array.
+        config: Load-balancing configuration.
+        iterations: Repetitions to simulate.
+        seed: Base RNG seed (the simulator derives all streams from it).
+        track_reads: Whether the read distribution is accumulated.
+    """
+
+    workload: Workload
+    architecture: PIMArchitecture
+    config: BalanceConfig = BalanceConfig()
+    iterations: int = 100_000
+    seed: int = 0
+    track_reads: bool = False
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+
+    def identity(self) -> dict:
+        """The canonical JSON-able dict the content hash is computed over."""
+        arch = self.architecture
+        return {
+            "spec_version": SPEC_VERSION,
+            "workload": self.workload.signature,
+            "config": self.config.label,
+            "recompile_interval": self.config.recompile_interval,
+            "architecture": arch.name,
+            "rows": arch.geometry.rows,
+            "cols": arch.geometry.cols,
+            "orientation": arch.orientation.value,
+            "presets_output": arch.presets_output,
+            "library": arch.library.name,
+            "technology": arch.technology.name,
+            "iterations": self.iterations,
+            "seed": self.seed,
+            "track_reads": self.track_reads,
+        }
+
+    @property
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical identity (hex, 64 chars)."""
+        canonical = json.dumps(self.identity(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Short human-readable job label for progress reporting."""
+        return (
+            f"{self.workload.name} {self.config.label} "
+            f"x{self.iterations} seed={self.seed}"
+        )

@@ -1,0 +1,123 @@
+"""Disk-backed, content-addressed storage for simulation results.
+
+Each completed job is stored under its spec's content hash as a
+compressed ``.npz`` (the counter arrays plus result metadata, via
+:mod:`repro.core.io`) next to a JSON sidecar recording the spec identity
+and timing. Entries are written atomically (temp file + rename, array
+payload before sidecar), so a store left behind by a killed run contains
+only complete entries — re-running the batch resumes from them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.core.io import LoadedResult, load_result, save_result
+from repro.core.simulator import SimulationResult
+from repro.engine.spec import JobSpec
+
+
+class ResultStore:
+    """A cache of simulation results keyed by job content hash.
+
+    Args:
+        root: Directory to keep entries in (created if missing). Entries
+            shard into two-character subdirectories to keep listings flat.
+        compress: Deflate entry payloads. Off by default — the store is a
+            throughput-critical cache and raw ``.npz`` loads several times
+            faster; turn on to trade wall clock for disk on huge grids.
+    """
+
+    def __init__(self, root: Union[str, Path], compress: bool = False) -> None:
+        self.root = Path(root)
+        self.compress = compress
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ----------------------------------------------------------
+
+    @staticmethod
+    def _hash_of(key: Union[JobSpec, str]) -> str:
+        return key.content_hash if isinstance(key, JobSpec) else str(key)
+
+    def path_for(self, key: Union[JobSpec, str]) -> Path:
+        """Where the ``.npz`` payload for ``key`` lives."""
+        digest = self._hash_of(key)
+        return self.root / digest[:2] / f"{digest}.npz"
+
+    def sidecar_for(self, key: Union[JobSpec, str]) -> Path:
+        """Where the JSON sidecar for ``key`` lives."""
+        digest = self._hash_of(key)
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # -- operations -----------------------------------------------------
+
+    def contains(self, key: Union[JobSpec, str]) -> bool:
+        """Whether a complete entry (payload and sidecar) exists."""
+        return self.path_for(key).exists() and self.sidecar_for(key).exists()
+
+    def load(self, key: Union[JobSpec, str]) -> Optional[LoadedResult]:
+        """Return the cached result, or ``None`` on a miss.
+
+        Incomplete or unreadable entries (e.g. from an interrupted save or
+        an older format version) count as misses; the caller re-simulates
+        and overwrites them.
+        """
+        if not self.contains(key):
+            return None
+        try:
+            return load_result(str(self.path_for(key)))
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+            return None
+
+    def save(
+        self,
+        spec: JobSpec,
+        result: SimulationResult,
+        wall_s: Optional[float] = None,
+    ) -> Path:
+        """Atomically persist ``result`` under ``spec``'s hash."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.stem}.{os.getpid()}.tmp.npz"
+        try:
+            save_result(result, str(tmp), compress=self.compress)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        sidecar = self.sidecar_for(spec)
+        record = {
+            "spec": spec.identity(),
+            "content_hash": spec.content_hash,
+            "wall_s": wall_s,
+        }
+        tmp_sidecar = sidecar.with_suffix(".tmp.json")
+        tmp_sidecar.write_text(
+            json.dumps(record, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp_sidecar, sidecar)
+        return path
+
+    # -- introspection --------------------------------------------------
+
+    def hashes(self) -> Iterator[str]:
+        """Content hashes of every complete entry."""
+        for sidecar in sorted(self.root.glob("*/*.json")):
+            if sidecar.with_suffix(".npz").exists():
+                yield sidecar.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.hashes())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for digest in list(self.hashes()):
+            self.path_for(digest).unlink(missing_ok=True)
+            self.sidecar_for(digest).unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -203,6 +203,21 @@ class Workload(ABC):
     def build(self, architecture: PIMArchitecture) -> WorkloadMapping:
         """Map one iteration onto ``architecture`` (wear + schedule views)."""
 
+    @property
+    def signature(self) -> str:
+        """A canonical identity string covering class and parameters.
+
+        Two workloads with equal signatures build identical mappings on a
+        given architecture; two instances sharing a ``name`` but differing
+        in any constructor parameter get distinct signatures. Used for
+        mapping caches and experiment-engine content hashes.
+        """
+        cls = type(self)
+        params = ", ".join(
+            f"{key}={value!r}" for key, value in sorted(vars(self).items())
+        )
+        return f"{cls.__module__}.{cls.__qualname__}({params})"
+
     def describe(self) -> str:
         """One-line description for reports."""
         return self.name

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.array.architecture import CRAM_COLUMN, PINATUBO, default_architecture
+from repro.array.architecture import PINATUBO, default_architecture
 
 
 @pytest.fixture

@@ -109,3 +109,60 @@ class TestCommands:
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
             main(["heatmap", "--workload", "sorting"])
+
+
+class TestEngineFlags:
+    """--jobs / --cache-dir route grid commands through repro.engine."""
+
+    def test_engine_flags_registered(self):
+        parser = build_parser()
+        for argv in (
+            ["heatmap", "--jobs", "2", "--cache-dir", "x"],
+            ["fig17", "--jobs", "2", "--cache-dir", "x"],
+            ["table3", "--jobs", "2", "--cache-dir", "x"],
+            ["remap-sweep", "--jobs", "2", "--cache-dir", "x"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.jobs == 2
+            assert args.cache_dir == "x"
+
+    def test_fig17_with_cache_populates_store_and_reruns_warm(
+        self, capsys, tmp_path
+    ):
+        argv = [
+            "--rows", "256", "--cols", "64",
+            "fig17", "--workload", "mult", "--iterations", "30",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "RaxBs+Hw" in cold.out
+        assert "18 to simulate" in cold.err
+        assert any(tmp_path.rglob("*.npz"))
+
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert "18 cached, 0 to simulate" in warm.err
+        assert cold.out == warm.out
+
+    def test_heatmap_with_jobs_and_cache(self, capsys, tmp_path):
+        main([
+            "--rows", "256", "--cols", "128",
+            "heatmap", "--workload", "mult", "--config", "RaxSt",
+            "--iterations", "50", "--jobs", "2",
+            "--cache-dir", str(tmp_path),
+        ])
+        captured = capsys.readouterr()
+        assert "max" in captured.out
+        assert "[engine]" in captured.err
+
+    def test_remap_sweep_with_cache(self, capsys, tmp_path):
+        main([
+            "--rows", "256", "--cols", "64",
+            "remap-sweep", "--workload", "mult", "--iterations", "200",
+            "--intervals", "100", "50",
+            "--cache-dir", str(tmp_path),
+        ])
+        captured = capsys.readouterr()
+        assert "50" in captured.out
+        assert "3 job(s)" in captured.err

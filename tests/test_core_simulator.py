@@ -6,7 +6,7 @@ import pytest
 from repro.array.architecture import default_architecture
 from repro.array.executor import replay_assignment
 from repro.array.state import ArrayState
-from repro.balance.config import BalanceConfig, all_configurations
+from repro.balance.config import BalanceConfig
 from repro.balance.software import StrategyKind
 from repro.core.simulator import EnduranceSimulator
 from repro.workloads.dotproduct import DotProduct
@@ -170,3 +170,44 @@ class TestHardwarePath:
         assert result.iteration_latency_s > 0
         dist = result.write_distribution
         assert "RaxSt+Hw" in dist.label
+
+
+class TestMappingCache:
+    """Regression: the mapping cache must key on parameters, not name."""
+
+    def test_same_name_different_params_do_not_collide(self, sim):
+        from repro.synth.bits import AllocationPolicy
+
+        ring = ParallelMultiplication(bits=8)
+        packed = ParallelMultiplication(
+            bits=8, allocation_policy=AllocationPolicy.LOWEST_FIRST
+        )
+        assert ring.name == packed.name  # the collision the bug needed
+        first = sim.run(ring, BalanceConfig(), iterations=50)
+        second = sim.run(packed, BalanceConfig(), iterations=50)
+        # LOWEST_FIRST packs the workspace tight; RING sweeps the lane.
+        # With the name-keyed cache both runs reused the ring mapping and
+        # these distributions came out identical.
+        assert not np.array_equal(
+            first.state.write_counts, second.state.write_counts
+        )
+
+    def test_equal_params_reuse_one_mapping(self, sim, workload):
+        sim.run(workload, BalanceConfig(), iterations=20)
+        cached = dict(sim._mapping_cache)
+        sim.run(ParallelMultiplication(bits=8), BalanceConfig(), iterations=20)
+        assert dict(sim._mapping_cache) == cached
+        assert len(cached) == 1
+
+    def test_signature_covers_class_and_params(self):
+        ring = ParallelMultiplication(bits=8)
+        wide = ParallelMultiplication(bits=16)
+        assert ring.signature != wide.signature
+        assert "ParallelMultiplication" in ring.signature
+        assert "bits=8" in ring.signature
+
+
+class TestResultSurface:
+    def test_lane_utilization_exposed_on_result(self, sim, workload):
+        result = sim.run(workload, BalanceConfig(), iterations=30)
+        assert result.lane_utilization == result.mapping.lane_utilization

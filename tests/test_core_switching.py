@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.switching import measure_switching
-from repro.gates.library import MINIMAL_LIBRARY, NAND_LIBRARY
+from repro.gates.library import MINIMAL_LIBRARY
 from repro.gates.ops import GateOp
 from repro.synth.bits import BitVector
 from repro.synth.program import LaneProgramBuilder

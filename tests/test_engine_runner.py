@@ -1,0 +1,234 @@
+"""ExperimentEngine behaviour: caching, retries, failure containment."""
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.balance.config import BalanceConfig, all_configurations
+from repro.engine import (
+    EngineError,
+    EngineHooks,
+    ExperimentEngine,
+    JobSpec,
+    JobStatus,
+    ResultStore,
+    require_ok,
+)
+from repro.workloads.base import Workload
+from repro.workloads.multiply import ParallelMultiplication
+
+
+class CountingHooks(EngineHooks):
+    """Records every engine callback for assertions."""
+
+    def __init__(self):
+        self.batch_starts = []
+        self.job_starts = 0
+        self.outcomes = []
+        self.metrics = None
+
+    def on_batch_start(self, total, cached):
+        self.batch_starts.append((total, cached))
+
+    def on_job_start(self, spec):
+        self.job_starts += 1
+
+    def on_job_end(self, outcome):
+        self.outcomes.append(outcome)
+
+    def on_batch_end(self, metrics):
+        self.metrics = metrics
+
+
+class FlakyWorkload(Workload):
+    """Fails on the first build, succeeds afterwards (marker on disk)."""
+
+    name = "flaky"
+
+    def __init__(self, marker):
+        self.marker = str(marker)
+        self.inner = ParallelMultiplication(bits=8)
+
+    def build(self, architecture):
+        import os
+
+        if not os.path.exists(self.marker):
+            with open(self.marker, "w", encoding="utf-8") as fh:
+                fh.write("tried")
+            raise RuntimeError("transient failure, try again")
+        return self.inner.build(architecture)
+
+
+class SleepyWorkload(Workload):
+    """Blocks long enough to trip any sub-second timeout."""
+
+    name = "sleepy"
+
+    def __init__(self, seconds=2.0):
+        self.seconds = seconds
+
+    def build(self, architecture):
+        time.sleep(self.seconds)
+        raise AssertionError("should have timed out first")
+
+
+def make_specs(arch, configs, iterations=150, seed=7, bits=8):
+    workload = ParallelMultiplication(bits=bits)
+    return [
+        JobSpec(
+            workload=workload,
+            architecture=arch,
+            config=config,
+            iterations=iterations,
+            seed=seed,
+        )
+        for config in configs
+    ]
+
+
+class TestCaching:
+    def test_second_run_is_all_cache_hits(self, tiny_arch, tmp_path):
+        specs = make_specs(tiny_arch, all_configurations()[:4])
+        store = ResultStore(tmp_path)
+        cold = ExperimentEngine(store=store).run(specs)
+        assert [o.status for o in cold] == [JobStatus.COMPLETED] * 4
+
+        hooks = CountingHooks()
+        warm = ExperimentEngine(store=store, hooks=hooks).run(specs)
+        assert [o.status for o in warm] == [JobStatus.CACHED] * 4
+        assert hooks.batch_starts == [(4, 4)]
+        assert hooks.metrics.completed == 0
+
+    def test_cached_counters_match_fresh(self, tiny_arch, tmp_path):
+        specs = make_specs(tiny_arch, [BalanceConfig.from_label("RaxRa")])
+        store = ResultStore(tmp_path)
+        fresh = ExperimentEngine(store=store).run(specs)[0]
+        cached = ExperimentEngine(store=store).run(specs)[0]
+        assert np.array_equal(
+            cached.result.state.write_counts,
+            fresh.result.state.write_counts,
+        )
+
+    def test_interrupted_batch_resumes_from_completed_jobs(
+        self, tiny_arch, tmp_path
+    ):
+        """A killed grid re-simulates only the jobs that had not finished."""
+        specs = make_specs(tiny_arch, all_configurations())
+        store = ResultStore(tmp_path)
+        # "Interrupted" run: only 6 of 18 jobs completed before the kill.
+        ExperimentEngine(store=store).run(specs[:6])
+        assert len(store) == 6
+
+        hooks = CountingHooks()
+        resumed = ExperimentEngine(store=store, hooks=hooks).run(specs)
+        assert hooks.batch_starts == [(18, 6)]
+        assert hooks.metrics.cached == 6
+        assert hooks.metrics.completed == 12
+        assert all(o.ok for o in resumed)
+
+    def test_engine_without_store_always_simulates(self, tiny_arch):
+        specs = make_specs(tiny_arch, all_configurations()[:2])
+        hooks = CountingHooks()
+        outcomes = ExperimentEngine(hooks=hooks).run(specs)
+        assert [o.status for o in outcomes] == [JobStatus.COMPLETED] * 2
+        assert hooks.metrics.cached == 0
+
+
+class TestDeduplication:
+    def test_identical_specs_simulated_once(self, tiny_arch):
+        spec = make_specs(tiny_arch, [BalanceConfig()])[0]
+        hooks = CountingHooks()
+        outcomes = ExperimentEngine(hooks=hooks).run([spec, spec, spec])
+        assert hooks.batch_starts == [(1, 0)]
+        assert hooks.metrics.completed == 1
+        assert len(outcomes) == 3
+        assert all(o.ok for o in outcomes)
+        assert outcomes[1].result is outcomes[0].result
+
+
+class TestFailureContainment:
+    def test_failed_job_records_traceback_and_batch_continues(self, tiny_arch):
+        # 32-bit multiply cannot fit a 63-bit-capacity lane: deterministic
+        # failure, while the 8-bit jobs around it succeed.
+        good = make_specs(tiny_arch, [BalanceConfig()], bits=8)
+        bad = make_specs(tiny_arch, [BalanceConfig()], bits=32)
+        outcomes = ExperimentEngine(retries=0).run(good + bad)
+        assert outcomes[0].status is JobStatus.COMPLETED
+        assert outcomes[1].status is JobStatus.FAILED
+        assert outcomes[1].result is None
+        assert "lane capacity" in outcomes[1].error
+        assert outcomes[1].attempts == 1
+
+    def test_failed_job_in_pool_mode(self, tiny_arch, tmp_path):
+        good = make_specs(tiny_arch, [BalanceConfig()], bits=8)
+        bad = make_specs(tiny_arch, [BalanceConfig()], bits=32)
+        outcomes = ExperimentEngine(
+            store=ResultStore(tmp_path), jobs=2, retries=0, backoff_s=0.0
+        ).run(good + bad)
+        assert outcomes[0].status is JobStatus.COMPLETED
+        assert outcomes[1].status is JobStatus.FAILED
+        assert "lane capacity" in outcomes[1].error
+
+    def test_require_ok_raises_engine_error(self, tiny_arch):
+        bad = make_specs(tiny_arch, [BalanceConfig()], bits=32)
+        outcomes = ExperimentEngine(retries=0).run(bad)
+        with pytest.raises(EngineError, match="1 job\\(s\\) failed"):
+            require_ok(outcomes)
+
+    def test_require_ok_passes_clean_batches_through(self, tiny_arch):
+        good = make_specs(tiny_arch, [BalanceConfig()])
+        outcomes = ExperimentEngine().run(good)
+        assert require_ok(outcomes) == outcomes
+
+
+class TestRetries:
+    def test_transient_failure_retried_to_success(self, tiny_arch, tmp_path):
+        flaky = FlakyWorkload(tmp_path / "marker")
+        spec = JobSpec(
+            workload=flaky,
+            architecture=tiny_arch,
+            config=BalanceConfig(),
+            iterations=50,
+        )
+        outcome = ExperimentEngine(retries=1, backoff_s=0.0).run_one(spec)
+        assert outcome.status is JobStatus.COMPLETED
+        assert outcome.attempts == 2
+
+    def test_retries_are_bounded(self, tiny_arch):
+        bad = make_specs(tiny_arch, [BalanceConfig()], bits=32)[0]
+        outcome = ExperimentEngine(retries=2, backoff_s=0.0).run_one(bad)
+        assert outcome.status is JobStatus.FAILED
+        assert outcome.attempts == 3
+
+
+@pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="test workload classes pickle by reference (fork only)",
+)
+class TestTimeout:
+    def test_slow_job_times_out_without_sinking_batch(self, tiny_arch):
+        quick = make_specs(tiny_arch, [BalanceConfig()])[0]
+        slow = JobSpec(
+            workload=SleepyWorkload(seconds=2.0),
+            architecture=tiny_arch,
+            config=BalanceConfig(),
+            iterations=50,
+        )
+        outcomes = ExperimentEngine(
+            jobs=2, retries=0, timeout_s=0.4, backoff_s=0.0
+        ).run([quick, slow])
+        assert outcomes[0].status is JobStatus.COMPLETED
+        assert outcomes[1].status is JobStatus.FAILED
+        assert "timed out" in outcomes[1].error or "exceeded" in outcomes[1].error
+
+
+class TestValidation:
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ExperimentEngine(jobs=-1)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            ExperimentEngine(retries=-1)

@@ -1,0 +1,154 @@
+"""ResultStore round-trips: the engine's transport format must be exact."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.balance.config import BalanceConfig
+from repro.core.io import restore_result, result_metadata
+from repro.core.simulator import EnduranceSimulator
+from repro.engine import JobSpec, ResultStore
+from repro.workloads.multiply import ParallelMultiplication
+
+
+@pytest.fixture
+def workload():
+    return ParallelMultiplication(bits=8)
+
+
+@pytest.fixture
+def spec(small_arch, workload):
+    return JobSpec(
+        workload=workload,
+        architecture=small_arch,
+        config=BalanceConfig.from_label("RaxBs+Hw"),
+        iterations=250,
+        seed=3,
+        track_reads=True,
+    )
+
+
+@pytest.fixture
+def result(small_arch, spec):
+    simulator = EnduranceSimulator(small_arch, seed=spec.seed)
+    return simulator.run(
+        spec.workload, spec.config, spec.iterations, track_reads=True
+    )
+
+
+class TestRoundTrip:
+    def test_counters_bit_exact(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        store.save(spec, result)
+        loaded = store.load(spec)
+        assert np.array_equal(loaded.state.write_counts, result.state.write_counts)
+        assert np.array_equal(loaded.state.read_counts, result.state.read_counts)
+        assert loaded.state.write_counts.dtype == result.state.write_counts.dtype
+
+    def test_metadata_survives(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        store.save(spec, result)
+        loaded = store.load(spec)
+        assert loaded.config.label == result.config.label
+        assert loaded.config.recompile_interval == result.config.recompile_interval
+        assert loaded.epochs == result.epochs
+        assert loaded.iterations == result.iterations
+        assert loaded.workload_name == result.workload_name
+        assert loaded.iteration_latency_s == result.iteration_latency_s
+        assert loaded.lane_utilization == result.lane_utilization
+
+    def test_write_distribution_bit_exact(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        store.save(spec, result)
+        loaded = store.load(spec)
+        ours = loaded.write_distribution
+        theirs = result.write_distribution
+        assert np.array_equal(ours.counts, theirs.counts)
+        assert ours.label == theirs.label
+        assert loaded.max_writes_per_iteration == result.max_writes_per_iteration
+
+    def test_in_memory_transport_matches_disk(self, tmp_path, spec, result):
+        """restore_result over raw arrays equals the save/load path."""
+        shipped = restore_result(
+            result_metadata(result),
+            result.state.write_counts,
+            result.state.read_counts,
+        )
+        store = ResultStore(tmp_path)
+        store.save(spec, result)
+        loaded = store.load(spec)
+        assert np.array_equal(
+            shipped.state.write_counts, loaded.state.write_counts
+        )
+        assert shipped.iteration_latency_s == loaded.iteration_latency_s
+
+    def test_restore_rejects_alien_version(self, result):
+        metadata = result_metadata(result)
+        metadata["format_version"] = 999
+        with pytest.raises(ValueError, match="unsupported result format"):
+            restore_result(
+                metadata,
+                result.state.write_counts,
+                result.state.read_counts,
+            )
+
+
+class TestStoreSemantics:
+    def test_miss_returns_none(self, tmp_path, spec):
+        store = ResultStore(tmp_path)
+        assert store.load(spec) is None
+        assert not store.contains(spec)
+
+    def test_contains_after_save(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        store.save(spec, result, wall_s=1.25)
+        assert store.contains(spec)
+        assert len(store) == 1
+        assert list(store.hashes()) == [spec.content_hash]
+
+    def test_sidecar_records_identity_and_timing(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        store.save(spec, result, wall_s=1.25)
+        record = json.loads(store.sidecar_for(spec).read_text())
+        assert record["content_hash"] == spec.content_hash
+        assert record["wall_s"] == 1.25
+        assert record["spec"] == spec.identity()
+
+    def test_payload_without_sidecar_is_incomplete(self, tmp_path, spec, result):
+        """An interrupted save (no sidecar yet) must read as a miss."""
+        store = ResultStore(tmp_path)
+        store.save(spec, result)
+        store.sidecar_for(spec).unlink()
+        assert not store.contains(spec)
+        assert store.load(spec) is None
+
+    def test_corrupt_payload_is_a_miss(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        store.save(spec, result)
+        store.path_for(spec).write_bytes(b"not an npz")
+        assert store.load(spec) is None
+
+    def test_truncated_payload_is_a_miss(self, tmp_path, spec, result):
+        # A zip prefix with a destroyed central directory raises
+        # zipfile.BadZipFile, not ValueError — it must still read as a miss.
+        store = ResultStore(tmp_path)
+        store.save(spec, result)
+        path = store.path_for(spec)
+        path.write_bytes(path.read_bytes()[:100])
+        assert store.load(spec) is None
+
+    def test_clear(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        store.save(spec, result)
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert store.load(spec) is None
+
+    def test_no_temp_files_left_behind(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        store.save(spec, result)
+        leftovers = [
+            p for p in tmp_path.rglob("*") if "tmp" in p.name
+        ]
+        assert leftovers == []

@@ -57,3 +57,28 @@ class TestExamples:
         assert "Gate fabric" in out
         assert "repacking" in out
         assert "Deployment" in out
+
+    def test_resumable_sweep(self, capsys, monkeypatch, tmp_path):
+        cache = tmp_path / "store"
+        _run(
+            "resumable_sweep.py",
+            argv=["resumable_sweep.py", str(cache)],
+            monkeypatch=monkeypatch,
+        )
+        out = capsys.readouterr().out
+        assert "killed after 6 jobs" in out
+        assert "resumes from the store" in out
+        # the resume pass reports 6 cache hits out of 18 jobs
+        assert "18 job(s): 6 cached" in out
+        assert "best configuration" in out
+
+    def test_resumable_sweep_second_run_all_hits(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        cache = tmp_path / "store"
+        argv = ["resumable_sweep.py", str(cache)]
+        _run("resumable_sweep.py", argv=argv, monkeypatch=monkeypatch)
+        capsys.readouterr()
+        _run("resumable_sweep.py", argv=argv, monkeypatch=monkeypatch)
+        out = capsys.readouterr().out
+        assert "18 job(s): 18 cached" in out

@@ -6,7 +6,6 @@ from repro.gates.library import (
     MINIMAL_LIBRARY,
     NAND_LIBRARY,
     NOR_LIBRARY,
-    GateLibrary,
     library_by_name,
 )
 from repro.gates.ops import GateOp

@@ -79,8 +79,8 @@ class TestMajArithmetic:
         builder = LaneProgramBuilder(MAJ_LIBRARY)
         a = builder.input_vector("a", 1)
         b = builder.input_vector("b", 1)
-        first = builder.and_bit(a[0], b[0])
-        second = builder.and_bit(a[0], b[0])
+        builder.and_bit(a[0], b[0])
+        builder.and_bit(a[0], b[0])
         program = builder.finish()
         # Two ANDs cost two gates but only ONE constant-zero write.
         assert program.gate_count == 2

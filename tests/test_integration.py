@@ -13,7 +13,6 @@ from repro import (
     lifetime_from_result,
     lifetime_improvement,
 )
-from repro.balance.software import StrategyKind
 from repro.core.sweep import configuration_grid
 
 

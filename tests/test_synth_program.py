@@ -1,6 +1,5 @@
 """Tests for repro.synth.program: counting and evaluation semantics."""
 
-import numpy as np
 import pytest
 
 from repro.gates.library import MINIMAL_LIBRARY, NAND_LIBRARY

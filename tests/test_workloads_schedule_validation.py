@@ -52,7 +52,6 @@ class TestValidatorCatchesDrift:
 
     def test_overcommitted_lane_detected(self):
         mapping = self._mapping()
-        program = mapping.distinct_programs()[0]
         # A schedule shorter than one lane's own instruction stream: total
         # work is balanced away by inflating active lanes, but invariant 2
         # still trips.
