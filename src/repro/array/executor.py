@@ -79,13 +79,14 @@ def replay_assignment(
         if between_map is None
         else _check_permutation(between_map, lane_count, "between_map")
     )
+    for program in assignment.values():
+        if program.footprint > lane_size:
+            raise ValueError(
+                f"program {program.name!r} needs {program.footprint} bits, "
+                f"lane has {lane_size}"
+            )
     for _ in range(repetitions):
         for logical_lane, program in assignment.items():
-            if program.footprint > lane_size:
-                raise ValueError(
-                    f"program {program.name!r} needs {program.footprint} bits, "
-                    f"lane has {lane_size}"
-                )
             lane = int(between[logical_lane])
             for instr in program.instructions:
                 if isinstance(instr, WriteInstr):

@@ -30,6 +30,20 @@ class ArrayState:
         self.write_counts = np.zeros(shape, dtype=np.float64)
         self.read_counts = np.zeros(shape, dtype=np.float64)
         self.failed = np.zeros(shape, dtype=bool)
+        self._scratch: "np.ndarray | None" = None
+
+    def _scratch_buffer(self) -> np.ndarray:
+        """A reusable full-array float64 workspace.
+
+        Bulk accumulation lands products here before adding them into the
+        counters, so repeated calls stop allocating a rows x cols
+        temporary (8 MB at the paper's 1024 x 1024) per call.
+        """
+        if self._scratch is None:
+            self._scratch = np.empty(
+                (self.geometry.rows, self.geometry.cols), dtype=np.float64
+            )
+        return self._scratch
 
     @classmethod
     def from_counts(
@@ -66,6 +80,7 @@ class ArrayState:
         state.write_counts = write_counts
         state.read_counts = read_counts
         state.failed = np.broadcast_to(np.bool_(False), shape)
+        state._scratch = None
         return state
 
     # -- single-cell events (exact replay path) -------------------------
@@ -116,11 +131,68 @@ class ArrayState:
                 f"{self.geometry.lane_count(orientation)}"
             )
         target = self._target(kind)
+        scratch = self._scratch_buffer()
         if orientation is Orientation.COLUMN_PARALLEL:
             # offsets are rows, lanes are columns
-            target += np.outer(offset_counts, lane_weights)
+            np.multiply.outer(offset_counts, lane_weights, out=scratch)
         else:
-            target += np.outer(lane_weights, offset_counts)
+            np.multiply.outer(lane_weights, offset_counts, out=scratch)
+        target += scratch
+
+    def add_lane_profiles(
+        self,
+        offset_profiles: np.ndarray,
+        lane_weights: np.ndarray,
+        orientation: Orientation,
+        kind: str = "write",
+    ) -> None:
+        """Add a whole chunk of epoch outer products with one GEMM.
+
+        The batched form of :meth:`add_lane_profile`: row ``e`` of each
+        argument describes one epoch, and the summed contribution
+
+        ``sum_e outer(offset_profiles[e], lane_weights[e])``
+
+        is exactly ``offset_profiles.T @ lane_weights`` — a single
+        matrix product instead of ``E`` outer products. All inputs are
+        integer-valued float64, so the reduction is exact in any order
+        and the result is bit-identical to the per-epoch loop.
+
+        Args:
+            offset_profiles: ``(epochs, lane_size)`` per-offset counts.
+            lane_weights: ``(epochs, lane_count)`` per-lane multiplicity
+                (membership scaled by epoch length).
+            orientation: Lane orientation.
+            kind: ``"write"`` or ``"read"``.
+        """
+        offset_profiles = np.asarray(offset_profiles, dtype=np.float64)
+        lane_weights = np.asarray(lane_weights, dtype=np.float64)
+        if (
+            offset_profiles.ndim != 2
+            or lane_weights.ndim != 2
+            or offset_profiles.shape[0] != lane_weights.shape[0]
+        ):
+            raise ValueError(
+                "offset_profiles and lane_weights must be 2-D with one "
+                "row per epoch"
+            )
+        if offset_profiles.shape[1] != self.geometry.lane_size(orientation):
+            raise ValueError(
+                f"offset_profiles width {offset_profiles.shape[1]} != lane "
+                f"size {self.geometry.lane_size(orientation)}"
+            )
+        if lane_weights.shape[1] != self.geometry.lane_count(orientation):
+            raise ValueError(
+                f"lane_weights width {lane_weights.shape[1]} != lane count "
+                f"{self.geometry.lane_count(orientation)}"
+            )
+        target = self._target(kind)
+        scratch = self._scratch_buffer()
+        if orientation is Orientation.COLUMN_PARALLEL:
+            np.matmul(offset_profiles.T, lane_weights, out=scratch)
+        else:
+            np.matmul(lane_weights.T, offset_profiles, out=scratch)
+        target += scratch
 
     def _target(self, kind: str) -> np.ndarray:
         if kind == "write":

@@ -138,16 +138,7 @@ class HardwareRemapper:
         """
         if iterations < 0:
             raise ValueError("iterations must be non-negative")
-        cached = self._domain_cache.get(iterations)
-        if cached is None:
-            cached = (
-                self._domain_counts(self._write_events, iterations),
-                self._domain_counts(
-                    [(e, 1) for e in self._read_events], iterations
-                ),
-            )
-            self._domain_cache[iterations] = cached
-        domain_writes, domain_reads = cached
+        domain_writes, domain_reads = self._domain_profiles(iterations)
         n = self.lane_size
         pi0 = (
             np.arange(n, dtype=np.int64)
@@ -161,6 +152,78 @@ class HardwareRemapper:
         physical_reads = np.zeros(n)
         physical_reads[pi0] = domain_reads
         return physical_writes, physical_reads
+
+    def profile_many(
+        self,
+        lengths: np.ndarray,
+        within_maps: "np.ndarray | None" = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`profile`: one epoch per row.
+
+        Row ``e`` equals ``profile(lengths[e], within_maps[e])``. The
+        per-length domain-count cache is shared with :meth:`profile`, so
+        a chunk of equal-length epochs costs one domain computation plus
+        one advanced-indexing scatter for the whole chunk.
+
+        Args:
+            lengths: Per-epoch iteration counts, shape ``(E,)``.
+            within_maps: Per-epoch initial logical-to-physical maps,
+                shape ``(E, lane_size)`` (identity rows if omitted).
+
+        Returns:
+            Two ``(E, lane_size)`` float arrays in physical offsets.
+        """
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if lengths.ndim != 1:
+            raise ValueError("lengths must be one-dimensional")
+        if lengths.size and lengths.min() < 0:
+            raise ValueError("iterations must be non-negative")
+        n = self.lane_size
+        count = lengths.size
+        unique, inverse = np.unique(lengths, return_inverse=True)
+        write_table = np.empty((unique.size, n))
+        read_table = np.empty((unique.size, n))
+        for i, length in enumerate(unique):
+            write_table[i], read_table[i] = self._domain_profiles(int(length))
+        domain_writes = write_table[inverse]
+        domain_reads = read_table[inverse]
+        if within_maps is None:
+            return domain_writes, domain_reads
+        within_maps = np.asarray(within_maps, dtype=np.int64)
+        if within_maps.shape != (count, n):
+            raise ValueError(
+                f"within_maps must have shape {(count, n)}, "
+                f"got {within_maps.shape}"
+            )
+        rows = np.arange(count)[:, None]
+        physical_writes = np.empty((count, n))
+        physical_writes[rows, within_maps] = domain_writes
+        physical_reads = np.empty((count, n))
+        physical_reads[rows, within_maps] = domain_reads
+        return physical_writes, physical_reads
+
+    @property
+    def writes_per_iteration(self) -> float:
+        """Total write weight one program repetition deposits on the lane.
+
+        Renaming relocates writes; it never changes how many land, so this
+        is the per-iteration wear any lane running the program accrues —
+        the signal wear-aware between-lane mapping sorts by.
+        """
+        return float(sum(weight for _, weight in self._write_events))
+
+    def _domain_profiles(self, iterations: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(domain_writes, domain_reads)`` for one horizon."""
+        cached = self._domain_cache.get(iterations)
+        if cached is None:
+            cached = (
+                self._domain_counts(self._write_events, iterations),
+                self._domain_counts(
+                    [(e, 1) for e in self._read_events], iterations
+                ),
+            )
+            self._domain_cache[iterations] = cached
+        return cached
 
     def _domain_counts(
         self, events: List[Tuple[int, int]], iterations: int
@@ -186,10 +249,16 @@ class HardwareRemapper:
                 continue
             full, remainder = divmod(iterations, length)
             cycle_counts = np.full(length, full * m.sum())
-            # tau^k advances a cycle position by k; the first `remainder`
-            # phases deliver one extra visit each.
-            for delta in range(remainder):
-                cycle_counts += np.roll(m, delta)
+            if remainder:
+                # tau^k advances a cycle position by k; the first
+                # `remainder` phases deliver one extra visit each, i.e.
+                # position j gains sum_{delta<remainder} m[(j-delta) % L]
+                # — a wrapped backward window, one prefix-sum pass over
+                # the doubled cycle instead of O(L * remainder) rolls.
+                prefix = np.zeros(2 * length + 1)
+                np.cumsum(np.concatenate([m, m]), out=prefix[1:])
+                ends = np.arange(length) + length + 1
+                cycle_counts += prefix[ends] - prefix[ends - remainder]
             counts[cycle] += cycle_counts
         return counts
 

@@ -19,6 +19,7 @@ from enum import Enum
 import numpy as np
 
 from repro.balance.mapping import (
+    BITS_PER_BYTE,
     byte_shift_permutation,
     identity_permutation,
     random_permutation,
@@ -98,6 +99,62 @@ def make_permutation(
         if rng is None:
             raise ValueError("random shuffling requires an rng")
         return random_permutation(size, rng)
+    if kind is StrategyKind.WEAR_AWARE:
+        raise ValueError(
+            "wear-aware mapping is stateful and resolved by the simulator; "
+            "it has no pure per-epoch permutation"
+        )
+    raise ValueError(f"unhandled strategy {kind!r}")
+
+
+def make_permutations(
+    kind: StrategyKind,
+    size: int,
+    count: int,
+    rng: "np.random.Generator | None" = None,
+    epoch_start: int = 0,
+) -> np.ndarray:
+    """Permutations for ``count`` consecutive epochs, as a matrix.
+
+    The batched analogue of :func:`make_permutation`: row ``e`` is the
+    permutation of epoch ``epoch_start + e``. Deterministic strategies
+    (``St``/``Bs``/``B1``) produce rows identical to the per-epoch
+    function. Random shuffling draws one uniform block per epoch and
+    argsorts it — a uniformly random permutation per row, but a
+    *different* stream than ``rng.permutation`` (callers must use one
+    convention consistently; the simulator uses this one on every path).
+
+    Args:
+        kind: Strategy.
+        size: Number of addresses (lane size or lane count).
+        count: Number of epochs to generate.
+        rng: Random generator, required for :attr:`StrategyKind.RANDOM`.
+        epoch_start: Zero-based index of the first epoch.
+
+    Returns:
+        A ``(count, size)`` int64 matrix; the Static row is a read-only
+        broadcast view (no per-epoch storage).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if epoch_start < 0:
+        raise ValueError("epoch_start must be non-negative")
+    base = np.arange(size, dtype=np.int64)
+    if kind is StrategyKind.STATIC:
+        return np.broadcast_to(base, (count, size))
+    epochs = epoch_start + np.arange(count, dtype=np.int64)
+    if kind is StrategyKind.BYTE_SHIFT:
+        offsets = (epochs * BITS_PER_BYTE) % size
+        return (base[None, :] + offsets[:, None]) % size
+    if kind is StrategyKind.BIT_SHIFT:
+        shifts = epochs % size
+        return (base[None, :] + shifts[:, None]) % size
+    if kind is StrategyKind.RANDOM:
+        if rng is None:
+            raise ValueError("random shuffling requires an rng")
+        return np.argsort(rng.random((count, size)), axis=1).astype(
+            np.int64, copy=False
+        )
     if kind is StrategyKind.WEAR_AWARE:
         raise ValueError(
             "wear-aware mapping is stateful and resolved by the simulator; "

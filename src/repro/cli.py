@@ -82,7 +82,12 @@ def _make_workload(name: str):
 
 def _make_simulator(args) -> EnduranceSimulator:
     arch = default_architecture(args.rows, args.cols)
-    return EnduranceSimulator(arch, seed=args.seed)
+    return EnduranceSimulator(
+        arch,
+        seed=args.seed,
+        kernel=getattr(args, "kernel", "batched"),
+        chunk_size=getattr(args, "chunk_size", None),
+    )
 
 
 def _engine_kwargs(args) -> dict:
@@ -155,7 +160,8 @@ def cmd_heatmap(args) -> None:
         engine_kwargs = _engine_kwargs(args)
         result = run_simulation(
             workload, config, sim.architecture, args.iterations,
-            seed=args.seed, **engine_kwargs,
+            seed=args.seed, kernel=sim.kernel, chunk_size=sim.chunk_size,
+            **engine_kwargs,
         )
     else:
         result = sim.run(workload, config, iterations=args.iterations)
@@ -332,6 +338,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--rows", type=int, default=1024, help="array rows")
     parser.add_argument("--cols", type=int, default=1024, help="array columns")
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--kernel", choices=("batched", "epoch"), default="batched",
+        help="simulation kernel: chunked GEMM accumulation across epochs "
+             "(batched, default) or the per-epoch loop (epoch); "
+             "bit-identical results",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="epochs per GEMM for the batched kernel (speed/memory knob; "
+             "never changes results)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("opcounts", help="Section 3.1 operation counts")

@@ -33,11 +33,8 @@ from repro.array.executor import accumulate_assignment
 from repro.array.state import ArrayState
 from repro.balance.config import BalanceConfig
 from repro.balance.hardware import HardwareRemapper
-from repro.balance.software import (
-    StrategyKind,
-    make_permutation,
-    wear_aware_permutation,
-)
+from repro.balance.software import StrategyKind, wear_aware_permutation
+from repro.core.kernel import KERNELS, make_epoch_maps, run_batched_epochs
 from repro.core.writedist import WriteDistribution
 from repro.workloads.base import Workload, WorkloadMapping
 
@@ -110,11 +107,29 @@ class EnduranceSimulator:
         architecture: The PIM array design under test.
         seed: Base RNG seed; random-shuffling strategies derive their
             per-run streams from it, so runs are reproducible.
+        kernel: Default execution path for :meth:`run` — ``"batched"``
+            (chunked GEMM accumulation across epochs,
+            :mod:`repro.core.kernel`) or ``"epoch"`` (the per-epoch
+            loop). Bit-identical; the epoch loop is kept as the
+            property-test oracle.
+        chunk_size: Default epochs per GEMM for the batched kernel
+            (``None`` = :data:`repro.core.kernel.DEFAULT_CHUNK_SIZE`).
+            Affects memory and speed only, never results.
     """
 
-    def __init__(self, architecture: PIMArchitecture, seed: int = 0) -> None:
+    def __init__(
+        self,
+        architecture: PIMArchitecture,
+        seed: int = 0,
+        kernel: str = "batched",
+        chunk_size: "int | None" = None,
+    ) -> None:
+        if kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
         self.architecture = architecture
         self.seed = seed
+        self.kernel = kernel
+        self.chunk_size = chunk_size
         self._mapping_cache: Dict[str, WorkloadMapping] = {}
 
     # ------------------------------------------------------------------
@@ -125,6 +140,8 @@ class EnduranceSimulator:
         config: BalanceConfig,
         iterations: int = 100_000,
         track_reads: bool = True,
+        kernel: "str | None" = None,
+        chunk_size: "int | None" = None,
     ) -> SimulationResult:
         """Simulate ``iterations`` repetitions under ``config``.
 
@@ -136,6 +153,9 @@ class EnduranceSimulator:
                 repeats", Section 4).
             track_reads: Also accumulate the read distribution (disable to
                 halve the accumulation cost of large sweeps).
+            kernel: Override the simulator's default execution path
+                (``"batched"`` or ``"epoch"``); both are bit-identical.
+            chunk_size: Override the batched kernel's epochs-per-GEMM.
         """
         if iterations <= 0:
             raise ValueError("iterations must be positive")
@@ -145,37 +165,110 @@ class EnduranceSimulator:
                 "roles are identical across a lane, so there is no load "
                 "signal to sort by)"
             )
+        kernel = self.kernel if kernel is None else kernel
+        if kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+        chunk_size = self.chunk_size if chunk_size is None else chunk_size
         mapping = self._mapping_for(workload)
         architecture = self.architecture
         state = ArrayState(architecture.geometry)
         rng = np.random.default_rng(self.seed)
-
-        lane_size = architecture.lane_size
-        lane_count = architecture.lane_count
-        orientation = architecture.orientation
 
         remappers: Dict[int, HardwareRemapper] = {}
         groups = self._groups(mapping)
         if config.hardware:
             for key, (program, _) in groups.items():
                 remappers[key] = HardwareRemapper(
-                    program, lane_size, architecture.presets_output
+                    program, architecture.lane_size, architecture.presets_output
                 )
 
-        lane_loads = self._lane_loads(mapping)
+        lane_loads = (
+            self._lane_loads(mapping)
+            if config.between is StrategyKind.WEAR_AWARE
+            else None
+        )
+        if kernel == "batched":
+            epochs = run_batched_epochs(
+                architecture,
+                config,
+                state,
+                rng,
+                groups,
+                iterations,
+                remappers=remappers if config.hardware else None,
+                lane_loads=lane_loads,
+                track_reads=track_reads,
+                chunk_size=chunk_size,
+            )
+        else:
+            epochs = self._run_epoch_loop(
+                mapping,
+                config,
+                state,
+                rng,
+                groups,
+                remappers,
+                lane_loads,
+                iterations,
+                track_reads,
+            )
+
+        return SimulationResult(
+            workload_name=mapping.workload_name,
+            config=config,
+            architecture=architecture,
+            iterations=iterations,
+            state=state,
+            mapping=mapping,
+            epochs=epochs,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _run_epoch_loop(
+        self,
+        mapping: WorkloadMapping,
+        config: BalanceConfig,
+        state: ArrayState,
+        rng: np.random.Generator,
+        groups: Dict[int, Tuple[object, List[int]]],
+        remappers: Dict[int, HardwareRemapper],
+        lane_loads: "np.ndarray | None",
+        iterations: int,
+        track_reads: bool,
+    ) -> int:
+        """The sequential per-epoch path — the batched kernel's oracle.
+
+        Permutations come from :func:`make_epoch_maps` one epoch at a
+        time, which consumes the random stream exactly as the batched
+        kernel's chunked draws do, so both paths are bit-identical.
+        """
+        architecture = self.architecture
+        lane_size = architecture.lane_size
+        lane_count = architecture.lane_count
+        orientation = architecture.orientation
         epochs = 0
         for epoch, length in self._epochs(config, iterations):
             epochs += 1
-            within = make_permutation(config.within, lane_size, epoch, rng)
-            if config.between is StrategyKind.WEAR_AWARE:
+            within_maps, between_maps = make_epoch_maps(
+                config.within,
+                config.between,
+                lane_size,
+                lane_count,
+                1,
+                rng,
+                epoch_start=epoch,
+            )
+            within = within_maps[0]
+            if between_maps is None:  # wear-aware: resolved against state
                 wear = state.lane_view(state.write_counts, orientation).sum(
                     axis=0
                 )
                 between = wear_aware_permutation(lane_loads, wear)
             else:
-                between = make_permutation(
-                    config.between, lane_count, epoch, rng
-                )
+                between = between_maps[0]
             if config.hardware:
                 self._accumulate_hardware_epoch(
                     state,
@@ -196,20 +289,7 @@ class EnduranceSimulator:
                     repetitions=float(length),
                     track_reads=track_reads,
                 )
-
-        return SimulationResult(
-            workload_name=mapping.workload_name,
-            config=config,
-            architecture=architecture,
-            iterations=iterations,
-            state=state,
-            mapping=mapping,
-            epochs=epochs,
-        )
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
+        return epochs
 
     def _mapping_for(self, workload: Workload) -> WorkloadMapping:
         # Keyed by the full parameter signature, not the display name: two

@@ -55,6 +55,8 @@ def simulate_configs(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     hooks=None,
+    kernel: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> Dict[BalanceConfig, SimulationResult]:
     """Simulate a list of configurations once each, in the given order.
 
@@ -66,14 +68,26 @@ def simulate_configs(
     and is bit-identical to the in-process path because every job runs on
     a fresh simulator seeded with ``simulator.seed``.
 
+    Args:
+        kernel: Execution path (``"batched"``/``"epoch"``); defaults to
+            the simulator's. Results are bit-identical either way.
+        chunk_size: Batched kernel epochs-per-GEMM override.
+
     Raises:
         repro.engine.EngineError: if any engine-routed job fails.
     """
+    kernel = simulator.kernel if kernel is None else kernel
+    chunk_size = simulator.chunk_size if chunk_size is None else chunk_size
     ordered = list(dict.fromkeys(configs))
     if jobs <= 1 and cache_dir is None:
         return {
             config: simulator.run(
-                workload, config, iterations, track_reads=track_reads
+                workload,
+                config,
+                iterations,
+                track_reads=track_reads,
+                kernel=kernel,
+                chunk_size=chunk_size,
             )
             for config in ordered
         }
@@ -93,6 +107,8 @@ def simulate_configs(
             iterations=iterations,
             seed=simulator.seed,
             track_reads=track_reads,
+            kernel=kernel,
+            chunk_size=chunk_size,
         )
         for config in ordered
     ]
@@ -117,6 +133,8 @@ def configuration_grid(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     hooks=None,
+    kernel: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[GridEntry]:
     """Simulate a workload under every balance configuration.
 
@@ -130,6 +148,8 @@ def configuration_grid(
             runs and an interrupted grid resumes from them.
         hooks: Engine progress hooks (e.g.
             :class:`repro.engine.TextReporter`).
+        kernel: Simulation kernel (``"batched"``/``"epoch"``).
+        chunk_size: Batched kernel epochs-per-GEMM override.
 
     Returns:
         Grid entries in the order of :func:`all_configurations` (or the
@@ -148,6 +168,8 @@ def configuration_grid(
         jobs=jobs,
         cache_dir=cache_dir,
         hooks=hooks,
+        kernel=kernel,
+        chunk_size=chunk_size,
     )
     baseline = results[baseline_config]
     return [
@@ -177,6 +199,8 @@ def remap_frequency_sweep(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     hooks=None,
+    kernel: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> Dict[int, float]:
     """Lifetime improvement versus recompile interval (Section 5).
 
@@ -195,6 +219,10 @@ def remap_frequency_sweep(
         jobs: Worker processes for the engine-routed path.
         cache_dir: Engine result store (reuse/resume across runs).
         hooks: Engine progress hooks.
+        kernel: Simulation kernel (``"batched"``/``"epoch"``). The
+            batched kernel is what makes the small-interval points (down
+            to re-mapping every iteration) affordable at full horizons.
+        chunk_size: Batched kernel epochs-per-GEMM override.
 
     Returns:
         Interval -> lifetime improvement over the static baseline.
@@ -219,6 +247,8 @@ def remap_frequency_sweep(
         jobs=jobs,
         cache_dir=cache_dir,
         hooks=hooks,
+        kernel=kernel,
+        chunk_size=chunk_size,
     )
     baseline = results[baseline_config]
     return {

@@ -57,6 +57,8 @@ def run_simulation(
     jobs=1,
     cache_dir=None,
     hooks=None,
+    kernel="batched",
+    chunk_size=None,
 ):
     """Resolve one simulation through the engine (cache-aware).
 
@@ -73,6 +75,8 @@ def run_simulation(
         iterations=iterations,
         seed=seed,
         track_reads=track_reads,
+        kernel=kernel,
+        chunk_size=chunk_size,
     )
     engine = ExperimentEngine(
         store=ResultStore(cache_dir) if cache_dir else None,

@@ -99,6 +99,8 @@ def execute_spec(spec: JobSpec) -> SimulationResult:
         spec.config,
         spec.iterations,
         track_reads=spec.track_reads,
+        kernel=spec.kernel,
+        chunk_size=spec.chunk_size,
     )
 
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.array.architecture import PIMArchitecture
 from repro.balance.config import BalanceConfig
@@ -20,7 +21,11 @@ from repro.workloads.base import Workload
 
 #: Bump when the simulation semantics change in a way that invalidates
 #: previously cached results.
-SPEC_VERSION = 1
+#:
+#: v2: random shuffling (``Ra``) draws argsorted uniform blocks (the
+#: batched epoch kernel's convention) instead of ``rng.permutation``, so
+#: v1 results with a random strategy are not reproducible anymore.
+SPEC_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -34,6 +39,11 @@ class JobSpec:
         iterations: Repetitions to simulate.
         seed: Base RNG seed (the simulator derives all streams from it).
         track_reads: Whether the read distribution is accumulated.
+        kernel: Execution path (``"batched"``/``"epoch"``). Excluded
+            from the content hash: both kernels are bit-identical, so a
+            cached result answers either.
+        chunk_size: Batched kernel epochs-per-GEMM (``None`` = default).
+            Also hash-excluded — it affects speed and memory only.
     """
 
     workload: Workload
@@ -42,10 +52,16 @@ class JobSpec:
     iterations: int = 100_000
     seed: int = 0
     track_reads: bool = False
+    kernel: str = "batched"
+    chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.iterations <= 0:
             raise ValueError("iterations must be positive")
+        if self.kernel not in ("batched", "epoch"):
+            raise ValueError(
+                f"kernel must be 'batched' or 'epoch', got {self.kernel!r}"
+            )
 
     def identity(self) -> dict:
         """The canonical JSON-able dict the content hash is computed over."""

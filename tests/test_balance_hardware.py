@@ -140,3 +140,133 @@ class TestSemantics:
         first = remapper.profile(9)[0].copy()
         second = remapper.profile(9)[0]
         assert np.allclose(first, second)
+
+    def test_writes_per_iteration_matches_profile_total(self):
+        program = _program()
+        for presets in (False, True):
+            remapper = HardwareRemapper(program, 16, presets)
+            writes, _ = remapper.profile(11)
+            assert writes.sum() == pytest.approx(
+                11 * remapper.writes_per_iteration
+            )
+
+
+def _hammer_program(reuses=20):
+    """One logical bit rewritten many times -> one long renaming cycle."""
+    builder = LaneProgramBuilder(NAND_LIBRARY)
+    a = builder.input_vector("a", 2)
+    hot = builder.gate(GateOp.NAND, a[0], a[1])
+    for _ in range(reuses):
+        builder.free(hot)
+        hot = builder.gate(GateOp.NAND, a[0], a[1])
+    return builder.finish()
+
+
+class TestDomainCountRemainder:
+    """Regression for the prefix-sum remainder pass in ``_domain_counts``.
+
+    The optimized wrapped-backward-window computation must be bit-equal to
+    the original one-roll-per-phase accumulation it replaced, on every
+    horizon — in particular ones where ``K mod L`` is large relative to
+    the cycle length.
+    """
+
+    @staticmethod
+    def _roll_loop_counts(remapper, events, iterations):
+        # The pre-optimization implementation, kept verbatim as the oracle.
+        n = remapper.lane_size
+        counts = np.zeros(n)
+        if iterations == 0 or not events:
+            return counts
+        weights = np.zeros(n)
+        for domain_element, weight in events:
+            weights[domain_element] += weight
+        for cycle in remapper._cycles:
+            length = cycle.size
+            m = weights[cycle]
+            if not m.any():
+                continue
+            full, remainder = divmod(iterations, length)
+            cycle_counts = np.full(length, full * m.sum())
+            for delta in range(remainder):
+                cycle_counts += np.roll(m, delta)
+            counts[cycle] += cycle_counts
+        return counts
+
+    @given(
+        iterations=st.integers(0, 200),
+        reuses=st.integers(5, 40),
+        presets=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bit_equal_to_roll_loop_on_long_cycles(
+        self, iterations, reuses, presets
+    ):
+        program = _hammer_program(reuses)
+        remapper = HardwareRemapper(program, program.footprint + 8, presets)
+        for events in (
+            remapper._write_events,
+            [(e, 1) for e in remapper._read_events],
+        ):
+            fast = remapper._domain_counts(events, iterations)
+            slow = self._roll_loop_counts(remapper, events, iterations)
+            assert np.array_equal(fast, slow)
+
+    def test_every_remainder_phase_of_one_cycle(self):
+        # Walk the full phase range of the longest cycle so every
+        # remainder value (including 0 and L-1) hits the windowed path.
+        remapper = HardwareRemapper(_hammer_program(12), 24, False)
+        longest = max(cycle.size for cycle in remapper._cycles)
+        for iterations in range(2 * longest + 1):
+            fast = remapper._domain_counts(remapper._write_events, iterations)
+            slow = self._roll_loop_counts(
+                remapper, remapper._write_events, iterations
+            )
+            assert np.array_equal(fast, slow)
+
+
+class TestProfileMany:
+    def test_rows_equal_per_epoch_profile(self):
+        remapper = HardwareRemapper(_program(), 16, True)
+        rng = np.random.default_rng(5)
+        lengths = np.array([7, 3, 7, 0, 12, 3])
+        maps = np.stack([rng.permutation(16) for _ in lengths])
+        many_w, many_r = remapper.profile_many(lengths, maps)
+        for e, length in enumerate(lengths):
+            one_w, one_r = remapper.profile(int(length), maps[e])
+            assert np.array_equal(many_w[e], one_w)
+            assert np.array_equal(many_r[e], one_r)
+
+    def test_identity_maps_when_omitted(self):
+        remapper = HardwareRemapper(_program(), 16, False)
+        many_w, many_r = remapper.profile_many(np.array([5, 9]))
+        for e, length in enumerate((5, 9)):
+            one_w, one_r = remapper.profile(length)
+            assert np.array_equal(many_w[e], one_w)
+            assert np.array_equal(many_r[e], one_r)
+
+    def test_empty_batch(self):
+        remapper = HardwareRemapper(_program(), 16, False)
+        many_w, many_r = remapper.profile_many(np.array([], dtype=np.int64))
+        assert many_w.shape == (0, 16)
+        assert many_r.shape == (0, 16)
+
+    def test_batch_does_not_corrupt_domain_cache(self):
+        # The scatter writes into fresh arrays; the cached domain vectors
+        # behind them must stay pristine for later profile() calls.
+        remapper = HardwareRemapper(_program(), 16, True)
+        expected = remapper.profile(6)[0].copy()
+        maps = np.stack([np.roll(np.arange(16), k) for k in (3, 5)])
+        remapper.profile_many(np.array([6, 6]), maps)
+        assert np.array_equal(remapper.profile(6)[0], expected)
+
+    def test_shape_validation(self):
+        remapper = HardwareRemapper(_program(), 16, False)
+        with pytest.raises(ValueError, match="one-dimensional"):
+            remapper.profile_many(np.zeros((2, 2), dtype=np.int64))
+        with pytest.raises(ValueError, match="non-negative"):
+            remapper.profile_many(np.array([3, -1]))
+        with pytest.raises(ValueError, match="shape"):
+            remapper.profile_many(
+                np.array([3, 4]), np.zeros((2, 15), dtype=np.int64)
+            )
