@@ -1,0 +1,132 @@
+"""E31 — telemetry overhead: instrumented hot path vs a no-op stub.
+
+Not a paper figure — an infrastructure benchmark guarding the telemetry
+subsystem's core promise: with **no sink attached**, the permanent
+instrumentation in the simulator and kernel (phase timers, per-chunk
+counters, short-circuited ``emit`` calls) costs at most 3% of the E30
+configuration's wall clock. The baseline swaps in a ``Telemetry``
+subclass whose every surface is a pass-through, so the measured delta is
+exactly the cost of the real aggregates and truthiness checks.
+
+Both variants run the E30 worst case (``mult-32b``, ``Ra x Ra`` at
+``recompile_interval=1``) best-of-N, interleaved to spread thermal and
+cache drift fairly across them.
+"""
+
+import json
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+from conftest import bench_iterations
+from repro.array.architecture import default_architecture
+from repro.balance.config import BalanceConfig
+from repro.core.settings import SimulationSettings
+from repro.core.simulator import EnduranceSimulator
+from repro.telemetry import Telemetry, set_telemetry
+from repro.workloads.multiply import ParallelMultiplication
+
+#: Floored like E30: the claim is about steady-state per-chunk cost, and
+#: a toy horizon would mostly time simulator setup.
+MIN_ITERATIONS = 20_000
+
+#: Interleaved repetitions per variant; best-of keeps scheduler noise out.
+REPEATS = 3
+
+MAX_OVERHEAD_PCT = 3.0
+
+
+class _NullTelemetry(Telemetry):
+    """Every telemetry surface stubbed out: the zero-cost baseline."""
+
+    def count(self, name, value=1):
+        """No-op counter."""
+
+    def gauge(self, name, value):
+        """No-op gauge."""
+
+    def emit(self, event, **fields):
+        """No-op event."""
+
+    @contextmanager
+    def timed_phase(self, name, **fields):
+        """No-op phase timer."""
+        yield self
+
+
+def _iterations() -> int:
+    return max(bench_iterations(MIN_ITERATIONS), MIN_ITERATIONS)
+
+
+def _run_once():
+    simulator = EnduranceSimulator(
+        default_architecture(), SimulationSettings(seed=7)
+    )
+    workload = ParallelMultiplication(bits=32)
+    config = BalanceConfig.from_label("RaxRa", recompile_interval=1)
+    start = time.perf_counter()
+    result = simulator.run(workload, config, iterations=_iterations())
+    return result, time.perf_counter() - start
+
+
+def test_bench_e31_telemetry_overhead(record, results_dir):
+    iterations = _iterations()
+    live_times, stub_times = [], []
+    live_result = stub_result = None
+
+    previous = set_telemetry(Telemetry())
+    try:
+        _run_once()  # warm-up: imports, allocator, BLAS threads
+        for _ in range(REPEATS):
+            set_telemetry(Telemetry())  # fresh registry, no sinks
+            live_result, seconds = _run_once()
+            live_times.append(seconds)
+
+            set_telemetry(_NullTelemetry())
+            stub_result, seconds = _run_once()
+            stub_times.append(seconds)
+    finally:
+        set_telemetry(previous)
+
+    assert np.array_equal(
+        live_result.state.write_counts, stub_result.state.write_counts
+    )
+
+    live_s = min(live_times)
+    stub_s = min(stub_times)
+    overhead_pct = (live_s - stub_s) / stub_s * 100.0
+
+    payload = {
+        "experiment": "E31_telemetry_overhead",
+        "workload": "mult-32b",
+        "config": "RaxRa",
+        "recompile_interval": 1,
+        "iterations": iterations,
+        "seed": 7,
+        "repeats": REPEATS,
+        "instrumented_seconds": round(live_s, 4),
+        "stubbed_seconds": round(stub_s, 4),
+        "overhead_pct": round(overhead_pct, 3),
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+        "sinks_attached": 0,
+    }
+    (results_dir / "BENCH_E31.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    lines = [
+        f"E31 telemetry overhead, mult-32b RaxRa interval=1 "
+        f"({iterations} iterations, best of {REPEATS}, no sinks)",
+        f"  instrumented   {live_s:8.3f} s",
+        f"  stubbed        {stub_s:8.3f} s",
+        f"  overhead       {overhead_pct:+8.2f} %  "
+        f"(budget {MAX_OVERHEAD_PCT:.0f} %)",
+    ]
+    record("E31_telemetry_overhead", "\n".join(lines))
+
+    assert overhead_pct <= MAX_OVERHEAD_PCT, (
+        f"no-sink telemetry costs {overhead_pct:.2f}% "
+        f"({live_s:.3f}s vs {stub_s:.3f}s); budget is "
+        f"{MAX_OVERHEAD_PCT:.0f}%"
+    )

@@ -10,17 +10,17 @@ every table and figure of the paper's evaluation regenerable from the
 Quickstart::
 
     from repro import (
-        default_architecture, EnduranceSimulator, ParallelMultiplication,
-        BalanceConfig, lifetime_from_result,
+        default_architecture, EnduranceSimulator, SimulationSettings,
+        ParallelMultiplication, BalanceConfig, lifetime_from_result,
     )
 
     arch = default_architecture()
-    sim = EnduranceSimulator(arch, seed=7)
+    sim = EnduranceSimulator(arch, SimulationSettings(seed=7))
     result = sim.run(ParallelMultiplication(bits=32),
                      BalanceConfig.from_label("RaxSt+Hw"),
                      iterations=10_000)
-    print(result.write_distribution.summary())
-    print(lifetime_from_result(result).days_to_failure, "days")
+    summary = result.write_distribution.summary()
+    days = lifetime_from_result(result).days_to_failure
 """
 
 from repro.array import (
@@ -33,6 +33,7 @@ from repro.array import (
 from repro.balance import BalanceConfig, StrategyKind, all_configurations
 from repro.core import (
     EnduranceSimulator,
+    SimulationSettings,
     FailureTimeline,
     failure_timeline,
     minimum_footprint,
@@ -59,6 +60,7 @@ from repro.workloads import (
     VectorAdd,
     Workload,
 )
+from repro.telemetry import Telemetry, get_telemetry
 
 __version__ = "1.0.0"
 
@@ -76,6 +78,7 @@ __all__ = [
     "all_configurations",
     # core
     "EnduranceSimulator",
+    "SimulationSettings",
     "SimulationResult",
     "WriteDistribution",
     "LifetimeEstimate",
@@ -109,4 +112,7 @@ __all__ = [
     "VectorAdd",
     "BinaryNeuron",
     "MatrixVectorProduct",
+    # telemetry
+    "Telemetry",
+    "get_telemetry",
 ]

@@ -16,11 +16,20 @@ Examples::
     repro-endurance switching --bits 16
     repro-endurance deployment --arrays 1024
     repro-endurance remap-sweep --workload dot
+    repro-endurance heatmap --trace trace.jsonl --progress
+    repro-endurance stats trace.jsonl
+
+Every simulation-backed subcommand accepts the full settings flag set
+(``--seed`` / ``--kernel`` / ``--chunk-size``), the engine flags
+(``--jobs`` / ``--cache-dir``), and the telemetry flags (``--log-level``
+/ ``--trace FILE`` / ``--progress``) — both before and after the
+subcommand name.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -44,6 +53,7 @@ from repro.core.report import (
     format_table2,
     format_table3,
 )
+from repro.core.settings import SimulationSettings
 from repro.core.simulator import EnduranceSimulator
 from repro.core.sweep import (
     best_improvement,
@@ -58,6 +68,17 @@ from repro.synth.analysis import (
     multiplier_counts,
     pim_vs_conventional_write_ratio,
 )
+from repro.telemetry import (
+    JsonlSink,
+    LoggingSink,
+    ProgressSink,
+    TraceSchemaError,
+    format_stats,
+    get_telemetry,
+    iter_trace,
+    summarize_trace,
+)
+from repro.telemetry.reporter import say
 from repro.workloads.convolution import Convolution
 from repro.workloads.dotproduct import DotProduct
 from repro.workloads.multiply import ParallelMultiplication
@@ -70,6 +91,8 @@ _WORKLOADS = {
     "add": lambda: VectorAdd(bits=32),
 }
 
+_LOG_LEVEL_CHOICES = ("debug", "info", "warning", "error", "critical")
+
 
 def _make_workload(name: str):
     try:
@@ -80,14 +103,21 @@ def _make_workload(name: str):
         ) from None
 
 
-def _make_simulator(args) -> EnduranceSimulator:
-    arch = default_architecture(args.rows, args.cols)
-    return EnduranceSimulator(
-        arch,
+def _make_settings(args) -> SimulationSettings:
+    """The :class:`SimulationSettings` described by the parsed flags."""
+    return SimulationSettings(
         seed=args.seed,
         kernel=getattr(args, "kernel", "batched"),
         chunk_size=getattr(args, "chunk_size", None),
+        log_level=getattr(args, "log_level", None),
+        trace_path=getattr(args, "trace", None),
+        progress=getattr(args, "progress", False),
     )
+
+
+def _make_simulator(args) -> EnduranceSimulator:
+    arch = default_architecture(args.rows, args.cols)
+    return EnduranceSimulator(arch, settings=_make_settings(args))
 
 
 def _engine_kwargs(args) -> dict:
@@ -102,6 +132,19 @@ def _engine_kwargs(args) -> dict:
     return {"jobs": jobs, "cache_dir": cache_dir, "hooks": hooks}
 
 
+def _run_one(args, sim, workload, config, iterations, track_reads=True):
+    """One simulation, routed through the engine when flags ask for it."""
+    settings = sim.settings.replace(track_reads=track_reads)
+    if getattr(args, "jobs", 1) > 1 or getattr(args, "cache_dir", None):
+        from repro.engine import run_simulation
+
+        return run_simulation(
+            workload, config, sim.architecture, iterations,
+            settings=settings, **_engine_kwargs(args),
+        )
+    return sim.run(workload, config, iterations, settings=settings)
+
+
 def _add_engine_flags(parser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1,
@@ -111,6 +154,40 @@ def _add_engine_flags(parser) -> None:
         "--cache-dir", default=None,
         help="experiment-engine result store; completed cells are "
              "reused and interrupted sweeps resume from it",
+    )
+
+
+def _add_sim_flags(parser) -> None:
+    """Subcommand-level duplicates of the global settings/telemetry flags.
+
+    ``default=argparse.SUPPRESS`` keeps an unset subcommand flag from
+    clobbering the value the main parser already stored, so both
+    ``repro-endurance --seed 7 heatmap`` and
+    ``repro-endurance heatmap --seed 7`` work.
+    """
+    parser.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="RNG seed"
+    )
+    parser.add_argument(
+        "--kernel", choices=("batched", "epoch"),
+        default=argparse.SUPPRESS, help="simulation kernel",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=argparse.SUPPRESS,
+        help="epochs per GEMM for the batched kernel",
+    )
+    parser.add_argument(
+        "--log-level", choices=_LOG_LEVEL_CHOICES,
+        default=argparse.SUPPRESS,
+        help="bridge telemetry events to stdlib logging at this level",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=argparse.SUPPRESS,
+        help="write a JSONL telemetry trace to FILE",
+    )
+    parser.add_argument(
+        "--progress", action="store_true", default=argparse.SUPPRESS,
+        help="render compact progress lines on stderr",
     )
 
 
@@ -127,17 +204,17 @@ def cmd_opcounts(args) -> None:
         ("PIM (NAND lib)", pim.cell_reads, pim.cell_writes,
          f"{pim.cell_reads / cells:.2f}", f"{pim.cell_writes / cells:.2f}"),
     ]
-    print(format_table(
+    say(format_table(
         ["Architecture", "Cell reads", "Cell writes", "Reads/cell", "Writes/cell"],
         rows,
         title=f"{bits}-bit multiplication memory traffic (Section 3.1)",
     ))
-    print(f"\nPIM performs {ratio:.1f}x more cell writes than conventional.")
+    say(f"\nPIM performs {ratio:.1f}x more cell writes than conventional.")
 
 
 def cmd_table2(args) -> None:
     """Table 2: access-aware shuffle overhead."""
-    print(format_table2())
+    say(format_table2())
 
 
 def cmd_fig5(args) -> None:
@@ -146,7 +223,7 @@ def cmd_fig5(args) -> None:
     program = ParallelMultiplication(bits=args.bits).build_program(arch)
     writes = program.write_counts(arch.lane_size, include_presets=arch.presets_output)
     reads = program.read_counts(arch.lane_size)
-    print(format_fig5(writes, reads, used_bits=program.footprint))
+    say(format_fig5(writes, reads, used_bits=program.footprint))
 
 
 def cmd_heatmap(args) -> None:
@@ -154,21 +231,11 @@ def cmd_heatmap(args) -> None:
     sim = _make_simulator(args)
     workload = _make_workload(args.workload)
     config = BalanceConfig.from_label(args.config)
-    if args.cache_dir or args.jobs > 1:
-        from repro.engine import run_simulation
-
-        engine_kwargs = _engine_kwargs(args)
-        result = run_simulation(
-            workload, config, sim.architecture, args.iterations,
-            seed=args.seed, kernel=sim.kernel, chunk_size=sim.chunk_size,
-            **engine_kwargs,
-        )
-    else:
-        result = sim.run(workload, config, iterations=args.iterations)
+    result = _run_one(args, sim, workload, config, args.iterations)
     dist = result.write_distribution
-    print(dist.ascii_heatmap(blocks=(args.rows // 32, args.cols // 16)))
-    print()
-    print(dist.summary())
+    say(dist.ascii_heatmap(blocks=(args.rows // 32, args.cols // 16)))
+    say()
+    say(dist.summary())
 
 
 def cmd_fig17(args) -> None:
@@ -178,8 +245,8 @@ def cmd_fig17(args) -> None:
     entries = configuration_grid(
         sim, workload, iterations=args.iterations, **_engine_kwargs(args)
     )
-    print(format_fig17(entries, workload.name))
-    print(format_heatmap_stats([e.result.write_distribution for e in entries]))
+    say(format_fig17(entries, workload.name))
+    say(format_heatmap_stats([e.result.write_distribution for e in entries]))
 
 
 def cmd_table3(args) -> None:
@@ -197,7 +264,7 @@ def cmd_table3(args) -> None:
             (workload.name, entries[0].result.lane_utilization,
              best.improvement)
         )
-    print(format_table3(summaries))
+    say(format_table3(summaries))
 
 
 def cmd_lifetime(args) -> None:
@@ -210,16 +277,16 @@ def cmd_lifetime(args) -> None:
     eq2 = eq2_seconds_until_total_failure(
         geometry, tech.endurance_writes, geometry.cols
     )
-    print(f"Technology: {tech.name} (endurance {tech.endurance_writes:.1e})")
-    print(f"Eq. 1 bound: {eq1:.3e} multiplications before total break-down")
-    print(f"Eq. 2 bound: {eq2:.0f} s = {eq2 / 86400:.2f} days at full utilization")
+    say(f"Technology: {tech.name} (endurance {tech.endurance_writes:.1e})")
+    say(f"Eq. 1 bound: {eq1:.3e} multiplications before total break-down")
+    say(f"Eq. 2 bound: {eq2:.0f} s = {eq2 / 86400:.2f} days at full utilization")
     sim = _make_simulator(args)
-    result = sim.run(
-        _make_workload("mult"), BalanceConfig(), iterations=args.iterations
+    result = _run_one(
+        args, sim, _make_workload("mult"), BalanceConfig(), args.iterations
     )
     sweep = technology_sweep(result, [MRAM, RRAM, PCM])
-    print()
-    print(format_lifetimes(sweep))
+    say()
+    say(format_lifetimes(sweep))
 
 
 def cmd_fig11b(args) -> None:
@@ -235,7 +302,7 @@ def cmd_fig11b(args) -> None:
         expected_usable_fraction(p, geometry.lane_count(arch.orientation))
         for p in fractions
     ]
-    print(format_fig11b(fractions, measured, analytic))
+    say(format_fig11b(fractions, measured, analytic))
 
 
 def cmd_remap_sweep(args) -> None:
@@ -248,7 +315,7 @@ def cmd_remap_sweep(args) -> None:
         iterations=args.iterations,
         **_engine_kwargs(args),
     )
-    print(format_remap_frequency(improvements))
+    say(format_remap_frequency(improvements))
 
 
 def cmd_report(args) -> None:
@@ -256,12 +323,11 @@ def cmd_report(args) -> None:
     from repro.core.report import format_full_report
 
     sim = _make_simulator(args)
-    result = sim.run(
-        _make_workload(args.workload),
-        BalanceConfig.from_label(args.config),
-        iterations=args.iterations,
+    result = _run_one(
+        args, sim, _make_workload(args.workload),
+        BalanceConfig.from_label(args.config), args.iterations,
     )
-    print(format_full_report(result, technologies=[MRAM, RRAM, PCM]))
+    say(format_full_report(result, technologies=[MRAM, RRAM, PCM]))
 
 
 def cmd_export(args) -> None:
@@ -273,7 +339,7 @@ def cmd_export(args) -> None:
     sim = _make_simulator(args)
     workload = _make_workload(args.workload)
     config = BalanceConfig.from_label(args.config)
-    result = sim.run(workload, config, iterations=args.iterations)
+    result = _run_one(args, sim, workload, config, args.iterations)
     os.makedirs(args.out, exist_ok=True)
     stem = os.path.join(
         args.out, f"{workload.name}-{config.label}-{args.iterations}"
@@ -282,8 +348,8 @@ def cmd_export(args) -> None:
     dist = result.write_distribution
     dist.to_csv(stem + ".csv")
     dist.to_pgm(stem + ".pgm")
-    print(f"saved {stem}.npz / .csv / .pgm")
-    print(dist.summary())
+    say(f"saved {stem}.npz / .csv / .pgm")
+    say(dist.summary())
 
 
 def cmd_switching(args) -> None:
@@ -293,7 +359,7 @@ def cmd_switching(args) -> None:
     arch = default_architecture(args.rows, args.cols)
     program = ParallelMultiplication(bits=args.bits).build_program(arch)
     profile = measure_switching(program, samples=args.samples, rng=args.seed)
-    print(
+    say(
         f"{args.bits}-bit multiply, {args.samples} random-operand samples:\n"
         f"  writes/iteration:   {int(profile.writes.sum())}\n"
         f"  switches/iteration: {profile.switches.sum():.1f}\n"
@@ -307,23 +373,34 @@ def cmd_deployment(args) -> None:
     from repro.core.system import ArrayFarm, lifetime_at_duty_cycle
 
     sim = _make_simulator(args)
-    result = sim.run(
-        _make_workload("mult"), BalanceConfig(), iterations=args.iterations,
+    result = _run_one(
+        args, sim, _make_workload("mult"), BalanceConfig(), args.iterations,
         track_reads=False,
     )
     estimate = lifetime_from_result(result)
-    print(f"single array, full utilization: "
-          f"{estimate.days_to_failure:.1f} days")
+    say(f"single array, full utilization: "
+        f"{estimate.days_to_failure:.1f} days")
     rows = []
     for duty in (1.0, 0.1, 0.01):
         scaled = lifetime_at_duty_cycle(estimate, duty)
         rows.append((f"{duty:.0%}", f"{scaled.years_to_failure:.2f}"))
-    print(format_table(["Duty cycle", "Years to failure"], rows))
+    say(format_table(["Duty cycle", "Years to failure"], rows))
     farm = ArrayFarm(args.arrays, sigma=0.25, rng=args.seed)
     summary = farm.replacement_horizon(estimate, failure_fraction=0.05)
-    print(f"\n{args.arrays}-array farm: first failure "
-          f"{summary.first_seconds / 86400:.1f} d, 5% dead at "
-          f"{summary.horizon_days:.1f} d")
+    say(f"\n{args.arrays}-array farm: first failure "
+        f"{summary.first_seconds / 86400:.1f} d, 5% dead at "
+        f"{summary.horizon_days:.1f} d")
+
+
+def cmd_stats(args) -> None:
+    """Summarize a JSONL telemetry trace (validates the schema)."""
+    try:
+        records = list(iter_trace(args.trace_file))
+    except TraceSchemaError as exc:
+        raise SystemExit(f"invalid trace: {exc}") from None
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace: {exc}") from None
+    say(format_stats(summarize_trace(records)))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -349,6 +426,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="epochs per GEMM for the batched kernel (speed/memory knob; "
              "never changes results)",
     )
+    parser.add_argument(
+        "--log-level", choices=_LOG_LEVEL_CHOICES, default=None,
+        help="bridge telemetry events to stdlib logging at this level",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a JSONL telemetry trace to FILE "
+             "(summarize it with the 'stats' subcommand)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true", default=False,
+        help="render compact progress lines on stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("opcounts", help="Section 3.1 operation counts")
@@ -367,23 +457,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", default="StxSt")
     p.add_argument("--iterations", type=int, default=5000)
     _add_engine_flags(p)
+    _add_sim_flags(p)
     p.set_defaults(func=cmd_heatmap)
 
     p = sub.add_parser("fig17", help="Fig. 17 lifetime improvements")
     p.add_argument("--workload", default="mult", choices=sorted(_WORKLOADS))
     p.add_argument("--iterations", type=int, default=10000)
     _add_engine_flags(p)
+    _add_sim_flags(p)
     p.set_defaults(func=cmd_fig17)
 
     p = sub.add_parser("table3", help="Table 3 summary")
     p.add_argument("--iterations", type=int, default=10000)
     _add_engine_flags(p)
+    _add_sim_flags(p)
     p.set_defaults(func=cmd_table3)
 
     p = sub.add_parser("lifetime", help="lifetime bounds + technology sweep")
     p.add_argument("--technology", default="MRAM")
     p.add_argument("--writes-per-op", type=float, default=9824)
     p.add_argument("--iterations", type=int, default=2000)
+    _add_engine_flags(p)
+    _add_sim_flags(p)
     p.set_defaults(func=cmd_lifetime)
 
     p = sub.add_parser("fig11b", help="Fig. 11b failed-cell curve")
@@ -394,6 +489,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", default="mult", choices=sorted(_WORKLOADS))
     p.add_argument("--config", default="StxSt")
     p.add_argument("--iterations", type=int, default=2000)
+    _add_engine_flags(p)
+    _add_sim_flags(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("export", help="run once and save npz/csv/pgm artifacts")
@@ -401,6 +498,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", default="StxSt")
     p.add_argument("--iterations", type=int, default=2000)
     p.add_argument("--out", default="results")
+    _add_engine_flags(p)
+    _add_sim_flags(p)
     p.set_defaults(func=cmd_export)
 
     p = sub.add_parser("switching", help="data-dependent switching wear")
@@ -411,6 +510,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("deployment", help="duty-cycle / array-farm lifetimes")
     p.add_argument("--iterations", type=int, default=500)
     p.add_argument("--arrays", type=int, default=256)
+    _add_engine_flags(p)
+    _add_sim_flags(p)
     p.set_defaults(func=cmd_deployment)
 
     p = sub.add_parser("remap-sweep", help="recompile-frequency sweep")
@@ -421,15 +522,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=[10000, 1000, 500, 100, 50, 10],
     )
     _add_engine_flags(p)
+    _add_sim_flags(p)
     p.set_defaults(func=cmd_remap_sweep)
 
+    p = sub.add_parser("stats", help="summarize a JSONL telemetry trace")
+    p.add_argument("trace_file", help="trace produced with --trace FILE")
+    p.set_defaults(func=cmd_stats)
+
     return parser
+
+
+def _configure_telemetry(args) -> list:
+    """Attach the sinks the telemetry flags ask for; returns them."""
+    tele = get_telemetry()
+    sinks = []
+    if getattr(args, "log_level", None):
+        level = getattr(logging, args.log_level.upper())
+        logging.basicConfig(level=level, stream=sys.stderr)
+        sinks.append(LoggingSink(level=level))
+    if getattr(args, "trace", None):
+        sinks.append(JsonlSink(args.trace))
+    if getattr(args, "progress", False):
+        sinks.append(ProgressSink())
+    tele.sinks.extend(sinks)
+    return sinks
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    args.func(args)
+    sinks = _configure_telemetry(args)
+    tele = get_telemetry()
+    try:
+        args.func(args)
+    finally:
+        for sink in sinks:
+            if sink in tele.sinks:
+                tele.sinks.remove(sink)
+            sink.close()
     return 0
 
 

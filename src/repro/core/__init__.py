@@ -15,6 +15,7 @@
 """
 
 from repro.core.writedist import WriteDistribution
+from repro.core.settings import SimulationSettings
 from repro.core.simulator import EnduranceSimulator, SimulationResult
 from repro.core.lifetime import (
     LifetimeEstimate,
@@ -45,6 +46,7 @@ __all__ = [
     "WriteDistribution",
     "EnduranceSimulator",
     "SimulationResult",
+    "SimulationSettings",
     "LifetimeEstimate",
     "lifetime_from_result",
     "lifetime_improvement",

@@ -51,6 +51,7 @@ from repro.balance.software import (
     wear_aware_permutation,
 )
 from repro.synth.program import LaneProgram
+from repro.telemetry import get_telemetry
 
 #: Epochs accumulated per GEMM. Bounds the working set to a few
 #: ``chunk x lane_size`` matrices (~8 MB each at the paper's geometry)
@@ -215,11 +216,14 @@ def run_batched_epochs(
         else None
     )
 
+    tele = get_telemetry()
+    gemms = 0
     lengths = epoch_lengths(config, iterations)
     total_epochs = int(lengths.size)
     start = 0
     while start < total_epochs:
         count = min(chunk, total_epochs - start)
+        tele.count("kernel.chunks")
         chunk_lengths = lengths[start : start + count]
         within_maps, between_maps = make_epoch_maps(
             config.within,
@@ -236,15 +240,16 @@ def run_batched_epochs(
             # is invariant under within-lane permutation, so an
             # O(lane_count) incremental update suffices and the cell-level
             # accumulation still happens in the chunk-end GEMM.
-            between_maps = np.empty((count, lane_count), dtype=np.int64)
-            for e in range(count):
-                permutation = wear_aware_permutation(lane_loads, wear)
-                between_maps[e] = permutation
-                length = int(chunk_lengths[e])
-                for key in groups:
-                    wear[permutation[lane_arrays[key]]] += (
-                        epoch_lane_writes[key] * length
-                    )
+            with tele.timed_phase("wear_aware"):
+                between_maps = np.empty((count, lane_count), dtype=np.int64)
+                for e in range(count):
+                    permutation = wear_aware_permutation(lane_loads, wear)
+                    between_maps[e] = permutation
+                    length = int(chunk_lengths[e])
+                    for key in groups:
+                        wear[permutation[lane_arrays[key]]] += (
+                            epoch_lane_writes[key] * length
+                        )
         rows = np.arange(count)[:, None]
         float_lengths = chunk_lengths.astype(np.float64)[:, None]
         for key, (program, _) in groups.items():
@@ -269,9 +274,13 @@ def run_batched_epochs(
             state.add_lane_profiles(
                 profile_writes, lane_weights, orientation, "write"
             )
+            gemms += 1
             if track_reads:
                 state.add_lane_profiles(
                     profile_reads, lane_weights, orientation, "read"
                 )
+                gemms += 1
         start += count
+    tele.count("kernel.gemms", gemms)
+    tele.gauge("kernel.chunk_size", chunk)
     return total_epochs

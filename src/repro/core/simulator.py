@@ -23,8 +23,9 @@ the new software mapping. Configurations without any software re-mapping
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,8 +35,10 @@ from repro.array.state import ArrayState
 from repro.balance.config import BalanceConfig
 from repro.balance.hardware import HardwareRemapper
 from repro.balance.software import StrategyKind, wear_aware_permutation
-from repro.core.kernel import KERNELS, make_epoch_maps, run_batched_epochs
+from repro.core.kernel import make_epoch_maps, run_batched_epochs
+from repro.core.settings import SimulationSettings
 from repro.core.writedist import WriteDistribution
+from repro.telemetry import get_telemetry
 from repro.workloads.base import Workload, WorkloadMapping
 
 
@@ -105,32 +108,51 @@ class EnduranceSimulator:
 
     Args:
         architecture: The PIM array design under test.
-        seed: Base RNG seed; random-shuffling strategies derive their
-            per-run streams from it, so runs are reproducible.
-        kernel: Default execution path for :meth:`run` — ``"batched"``
-            (chunked GEMM accumulation across epochs,
-            :mod:`repro.core.kernel`) or ``"epoch"`` (the per-epoch
-            loop). Bit-identical; the epoch loop is kept as the
-            property-test oracle.
-        chunk_size: Default epochs per GEMM for the batched kernel
-            (``None`` = :data:`repro.core.kernel.DEFAULT_CHUNK_SIZE`).
-            Affects memory and speed only, never results.
+        settings: The unified knob set (:class:`SimulationSettings`) —
+            seed, kernel, chunk size, read tracking, telemetry options.
+        seed: Deprecated alias for ``settings.seed`` (warns once).
+        kernel: Deprecated alias for ``settings.kernel`` — ``"batched"``
+            (chunked GEMM accumulation, :mod:`repro.core.kernel`) or
+            ``"epoch"`` (the per-epoch loop); bit-identical, the epoch
+            loop is kept as the property-test oracle.
+        chunk_size: Deprecated alias for ``settings.chunk_size``
+            (epochs per GEMM; affects memory and speed only).
     """
 
     def __init__(
         self,
         architecture: PIMArchitecture,
-        seed: int = 0,
-        kernel: str = "batched",
-        chunk_size: "int | None" = None,
+        settings: Optional[SimulationSettings] = None,
+        seed: Optional[int] = None,
+        kernel: Optional[str] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
-        if kernel not in KERNELS:
-            raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+        base = settings if settings is not None else SimulationSettings()
+        self.settings = base.merge_legacy(
+            "EnduranceSimulator()",
+            seed=seed,
+            kernel=kernel,
+            chunk_size=chunk_size,
+        )
         self.architecture = architecture
-        self.seed = seed
-        self.kernel = kernel
-        self.chunk_size = chunk_size
         self._mapping_cache: Dict[str, WorkloadMapping] = {}
+
+    # -- settings convenience views ------------------------------------
+
+    @property
+    def seed(self) -> int:
+        """The settings' base RNG seed."""
+        return self.settings.seed
+
+    @property
+    def kernel(self) -> str:
+        """The settings' default execution path."""
+        return self.settings.kernel
+
+    @property
+    def chunk_size(self) -> "int | None":
+        """The settings' batched-kernel epochs-per-GEMM."""
+        return self.settings.chunk_size
 
     # ------------------------------------------------------------------
 
@@ -139,9 +161,10 @@ class EnduranceSimulator:
         workload: Workload,
         config: BalanceConfig,
         iterations: int = 100_000,
-        track_reads: bool = True,
-        kernel: "str | None" = None,
-        chunk_size: "int | None" = None,
+        track_reads: Optional[bool] = None,
+        kernel: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+        settings: Optional[SimulationSettings] = None,
     ) -> SimulationResult:
         """Simulate ``iterations`` repetitions under ``config``.
 
@@ -151,11 +174,12 @@ class EnduranceSimulator:
             iterations: Repetitions ("as soon as it computes the final
                 results a new set of inputs is loaded and the process
                 repeats", Section 4).
-            track_reads: Also accumulate the read distribution (disable to
-                halve the accumulation cost of large sweeps).
-            kernel: Override the simulator's default execution path
-                (``"batched"`` or ``"epoch"``); both are bit-identical.
-            chunk_size: Override the batched kernel's epochs-per-GEMM.
+            track_reads: Deprecated alias for ``settings.track_reads``
+                (disable to halve the accumulation cost of large sweeps).
+            kernel: Deprecated alias for ``settings.kernel``.
+            chunk_size: Deprecated alias for ``settings.chunk_size``.
+            settings: Per-call settings override; defaults to the
+                simulator's own :class:`SimulationSettings`.
         """
         if iterations <= 0:
             raise ValueError("iterations must be positive")
@@ -165,14 +189,19 @@ class EnduranceSimulator:
                 "roles are identical across a lane, so there is no load "
                 "signal to sort by)"
             )
-        kernel = self.kernel if kernel is None else kernel
-        if kernel not in KERNELS:
-            raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
-        chunk_size = self.chunk_size if chunk_size is None else chunk_size
+        effective = settings if settings is not None else self.settings
+        effective = effective.merge_legacy(
+            "EnduranceSimulator.run()",
+            kernel=kernel,
+            chunk_size=chunk_size,
+            track_reads=track_reads,
+        )
+        tele = get_telemetry()
+        start = time.perf_counter()
         mapping = self._mapping_for(workload)
         architecture = self.architecture
         state = ArrayState(architecture.geometry)
-        rng = np.random.default_rng(self.seed)
+        rng = np.random.default_rng(effective.seed)
 
         remappers: Dict[int, HardwareRemapper] = {}
         groups = self._groups(mapping)
@@ -187,32 +216,54 @@ class EnduranceSimulator:
             if config.between is StrategyKind.WEAR_AWARE
             else None
         )
-        if kernel == "batched":
-            epochs = run_batched_epochs(
-                architecture,
-                config,
-                state,
-                rng,
-                groups,
-                iterations,
-                remappers=remappers if config.hardware else None,
-                lane_loads=lane_loads,
-                track_reads=track_reads,
-                chunk_size=chunk_size,
-            )
-        else:
-            epochs = self._run_epoch_loop(
-                mapping,
-                config,
-                state,
-                rng,
-                groups,
-                remappers,
-                lane_loads,
-                iterations,
-                track_reads,
-            )
+        with tele.timed_phase("kernel", kernel=effective.kernel):
+            if effective.kernel == "batched":
+                epochs = run_batched_epochs(
+                    architecture,
+                    config,
+                    state,
+                    rng,
+                    groups,
+                    iterations,
+                    remappers=remappers if config.hardware else None,
+                    lane_loads=lane_loads,
+                    track_reads=effective.track_reads,
+                    chunk_size=effective.chunk_size,
+                )
+            else:
+                epochs = self._run_epoch_loop(
+                    mapping,
+                    config,
+                    state,
+                    rng,
+                    groups,
+                    remappers,
+                    lane_loads,
+                    iterations,
+                    effective.track_reads,
+                )
 
+        elapsed = time.perf_counter() - start
+        tele.count("sim.runs")
+        tele.count("sim.iterations", iterations)
+        tele.count("sim.epochs", epochs)
+        tele.gauge("sim.epochs_per_s", epochs / elapsed if elapsed > 0 else 0.0)
+        if tele.enabled:
+            # Full-array reductions are only worth paying for when the
+            # event is actually going somewhere.
+            tele.emit(
+                "simulation",
+                workload=mapping.workload_name,
+                config=config.label,
+                iterations=iterations,
+                epochs=epochs,
+                kernel=effective.kernel,
+                seed=effective.seed,
+                seconds=round(elapsed, 6),
+                epochs_per_s=round(epochs / elapsed, 2) if elapsed > 0 else 0.0,
+                writes=float(state.write_counts.sum()),
+                reads=float(state.read_counts.sum()),
+            )
         return SimulationResult(
             workload_name=mapping.workload_name,
             config=config,
@@ -297,7 +348,10 @@ class EnduranceSimulator:
         key = workload.signature
         cached = self._mapping_cache.get(key)
         if cached is None or cached.architecture is not self.architecture:
-            cached = workload.build(self.architecture)
+            with get_telemetry().timed_phase(
+                "mapping_compile", workload=workload.name
+            ):
+                cached = workload.build(self.architecture)
             self._mapping_cache[key] = cached
         return cached
 

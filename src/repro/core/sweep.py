@@ -21,8 +21,10 @@ from repro.core.lifetime import (
     lifetime_from_result,
     lifetime_improvement,
 )
+from repro.core.settings import SimulationSettings
 from repro.core.simulator import EnduranceSimulator, SimulationResult
 from repro.devices.technology import Technology
+from repro.telemetry import get_telemetry
 from repro.workloads.base import Workload
 
 
@@ -51,12 +53,13 @@ def simulate_configs(
     workload: Workload,
     configs: Sequence[BalanceConfig],
     iterations: int,
-    track_reads: bool = False,
+    track_reads: Optional[bool] = None,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     hooks=None,
     kernel: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    settings: Optional[SimulationSettings] = None,
 ) -> Dict[BalanceConfig, SimulationResult]:
     """Simulate a list of configurations once each, in the given order.
 
@@ -66,31 +69,43 @@ def simulate_configs(
     ``cache_dir``, the batch routes through :mod:`repro.engine` —
     parallel workers, disk-cached results, resumable after interruption —
     and is bit-identical to the in-process path because every job runs on
-    a fresh simulator seeded with ``simulator.seed``.
+    a fresh simulator carrying the same settings.
 
     Args:
-        kernel: Execution path (``"batched"``/``"epoch"``); defaults to
-            the simulator's. Results are bit-identical either way.
-        chunk_size: Batched kernel epochs-per-GEMM override.
+        settings: Simulation settings for every cell; defaults to the
+            simulator's own (``track_reads`` below still applies).
+        kernel: Deprecated alias for ``settings.kernel``.
+        chunk_size: Deprecated alias for ``settings.chunk_size``.
 
     Raises:
         repro.engine.EngineError: if any engine-routed job fails.
     """
-    kernel = simulator.kernel if kernel is None else kernel
-    chunk_size = simulator.chunk_size if chunk_size is None else chunk_size
+    base = settings if settings is not None else simulator.settings
+    base = base.merge_legacy(
+        "simulate_configs()", kernel=kernel, chunk_size=chunk_size
+    )
+    if track_reads is None:
+        # Sweeps historically default to writes-only; explicit settings
+        # carry their own choice.
+        track_reads = base.track_reads if settings is not None else False
+    if base.track_reads != track_reads:
+        base = base.replace(track_reads=track_reads)
     ordered = list(dict.fromkeys(configs))
+    tele = get_telemetry()
     if jobs <= 1 and cache_dir is None:
-        return {
-            config: simulator.run(
-                workload,
-                config,
-                iterations,
-                track_reads=track_reads,
-                kernel=kernel,
-                chunk_size=chunk_size,
+        results: Dict[BalanceConfig, SimulationResult] = {}
+        for done, config in enumerate(ordered, start=1):
+            results[config] = simulator.run(
+                workload, config, iterations, settings=base
             )
-            for config in ordered
-        }
+            tele.emit(
+                "grid_progress",
+                done=done,
+                total=len(ordered),
+                label=config.label,
+                workload=workload.name,
+            )
+        return results
     # Imported lazily: repro.engine depends on this package.
     from repro.engine import (
         ExperimentEngine,
@@ -100,15 +115,12 @@ def simulate_configs(
     )
 
     specs = [
-        JobSpec(
-            workload=workload,
-            architecture=simulator.architecture,
+        JobSpec.from_settings(
+            workload,
+            simulator.architecture,
             config=config,
             iterations=iterations,
-            seed=simulator.seed,
-            track_reads=track_reads,
-            kernel=kernel,
-            chunk_size=chunk_size,
+            settings=base,
         )
         for config in ordered
     ]
@@ -129,12 +141,13 @@ def configuration_grid(
     workload: Workload,
     iterations: int = 100_000,
     configs: Optional[Sequence[BalanceConfig]] = None,
-    track_reads: bool = False,
+    track_reads: Optional[bool] = None,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     hooks=None,
     kernel: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    settings: Optional[SimulationSettings] = None,
 ) -> List[GridEntry]:
     """Simulate a workload under every balance configuration.
 
@@ -148,8 +161,9 @@ def configuration_grid(
             runs and an interrupted grid resumes from them.
         hooks: Engine progress hooks (e.g.
             :class:`repro.engine.TextReporter`).
-        kernel: Simulation kernel (``"batched"``/``"epoch"``).
-        chunk_size: Batched kernel epochs-per-GEMM override.
+        kernel: Deprecated alias for ``settings.kernel``.
+        chunk_size: Deprecated alias for ``settings.chunk_size``.
+        settings: Simulation settings for every cell.
 
     Returns:
         Grid entries in the order of :func:`all_configurations` (or the
@@ -170,6 +184,7 @@ def configuration_grid(
         hooks=hooks,
         kernel=kernel,
         chunk_size=chunk_size,
+        settings=settings,
     )
     baseline = results[baseline_config]
     return [
@@ -201,6 +216,7 @@ def remap_frequency_sweep(
     hooks=None,
     kernel: Optional[str] = None,
     chunk_size: Optional[int] = None,
+    settings: Optional[SimulationSettings] = None,
 ) -> Dict[int, float]:
     """Lifetime improvement versus recompile interval (Section 5).
 
@@ -219,10 +235,11 @@ def remap_frequency_sweep(
         jobs: Worker processes for the engine-routed path.
         cache_dir: Engine result store (reuse/resume across runs).
         hooks: Engine progress hooks.
-        kernel: Simulation kernel (``"batched"``/``"epoch"``). The
-            batched kernel is what makes the small-interval points (down
-            to re-mapping every iteration) affordable at full horizons.
-        chunk_size: Batched kernel epochs-per-GEMM override.
+        kernel: Deprecated alias for ``settings.kernel``. The batched
+            kernel is what makes the small-interval points (down to
+            re-mapping every iteration) affordable at full horizons.
+        chunk_size: Deprecated alias for ``settings.chunk_size``.
+        settings: Simulation settings for every point.
 
     Returns:
         Interval -> lifetime improvement over the static baseline.
@@ -249,6 +266,7 @@ def remap_frequency_sweep(
         hooks=hooks,
         kernel=kernel,
         chunk_size=chunk_size,
+        settings=settings,
     )
     baseline = results[baseline_config]
     return {

@@ -18,6 +18,7 @@ content-addressed jobs:
 ``remap-sweep`` CLI commands (``--jobs`` / ``--cache-dir``).
 """
 
+from repro.core.settings import SimulationSettings
 from repro.engine.hooks import BatchMetrics, EngineHooks, TextReporter
 from repro.engine.runner import (
     EngineError,
@@ -40,6 +41,7 @@ __all__ = [
     "JobSpec",
     "ResultStore",
     "SPEC_VERSION",
+    "SimulationSettings",
     "TextReporter",
     "execute_spec",
     "require_ok",
@@ -52,31 +54,42 @@ def run_simulation(
     config,
     architecture,
     iterations,
-    seed=0,
-    track_reads=True,
+    seed=None,
+    track_reads=None,
     jobs=1,
     cache_dir=None,
     hooks=None,
-    kernel="batched",
+    kernel=None,
     chunk_size=None,
+    settings=None,
 ):
     """Resolve one simulation through the engine (cache-aware).
 
     The single-run counterpart of the sweep entry points: builds the spec,
     consults/populates ``cache_dir`` when given, and returns the result.
+    Execution knobs come from ``settings`` (a
+    :class:`repro.SimulationSettings`); ``seed`` / ``track_reads`` /
+    ``kernel`` / ``chunk_size`` remain as deprecated aliases. The
+    historical default tracked reads, so with neither ``settings`` nor
+    ``track_reads`` given, reads are tracked.
 
     Raises:
         EngineError: if the job fails after its retries.
     """
-    spec = JobSpec(
-        workload=workload,
-        architecture=architecture,
-        config=config,
-        iterations=iterations,
+    base = settings if settings is not None else SimulationSettings()
+    base = base.merge_legacy(
+        "run_simulation()",
         seed=seed,
-        track_reads=track_reads,
         kernel=kernel,
         chunk_size=chunk_size,
+        track_reads=track_reads,
+    )
+    spec = JobSpec.from_settings(
+        workload,
+        architecture,
+        config=config,
+        iterations=iterations,
+        settings=base,
     )
     engine = ExperimentEngine(
         store=ResultStore(cache_dir) if cache_dir else None,

@@ -13,6 +13,8 @@ import sys
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, TextIO
 
+from repro.telemetry.reporter import say
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.engine.runner import JobOutcome
     from repro.engine.spec import JobSpec
@@ -27,6 +29,8 @@ class BatchMetrics:
         completed: Jobs simulated successfully this run.
         cached: Jobs answered from the result store.
         failed: Jobs that exhausted their retries (or timed out).
+        retries: Re-submissions after failures (timeouts included).
+        timeouts: Jobs that blew the per-job wall-clock limit.
         wall_s: Batch wall-clock time.
         job_wall_s: Per-job simulation wall times, completed jobs only.
     """
@@ -35,6 +39,8 @@ class BatchMetrics:
     completed: int = 0
     cached: int = 0
     failed: int = 0
+    retries: int = 0
+    timeouts: int = 0
     wall_s: float = 0.0
     job_wall_s: List[float] = field(default_factory=list)
 
@@ -56,6 +62,16 @@ class BatchMetrics:
         if not self.job_wall_s:
             return 0.0
         return sum(self.job_wall_s) / len(self.job_wall_s)
+
+    def worker_utilization(self, workers: int) -> float:
+        """Fraction of worker wall clock spent simulating.
+
+        ``sum(job_wall_s) / (workers * wall_s)`` — 1.0 means the pool
+        never idled; the serial path reports its busy fraction.
+        """
+        if self.wall_s <= 0:
+            return 0.0
+        return sum(self.job_wall_s) / (max(workers, 1) * self.wall_s)
 
 
 class EngineHooks:
@@ -88,7 +104,7 @@ class TextReporter(EngineHooks):
         self._seen = 0
 
     def _emit(self, text: str) -> None:
-        print(text, file=self.stream, flush=True)
+        say(text, stream=self.stream, flush=True)
 
     def on_batch_start(self, total: int, cached: int) -> None:
         self._total = total

@@ -30,6 +30,7 @@ from repro.core.simulator import EnduranceSimulator, SimulationResult
 from repro.engine.hooks import BatchMetrics, EngineHooks
 from repro.engine.spec import JobSpec
 from repro.engine.store import ResultStore
+from repro.telemetry import get_telemetry
 
 
 class JobStatus(Enum):
@@ -92,16 +93,9 @@ class EngineError(RuntimeError):
 
 
 def execute_spec(spec: JobSpec) -> SimulationResult:
-    """Run one spec on a fresh, spec-seeded simulator."""
-    simulator = EnduranceSimulator(spec.architecture, seed=spec.seed)
-    return simulator.run(
-        spec.workload,
-        spec.config,
-        spec.iterations,
-        track_reads=spec.track_reads,
-        kernel=spec.kernel,
-        chunk_size=spec.chunk_size,
-    )
+    """Run one spec on a fresh simulator configured from its settings."""
+    simulator = EnduranceSimulator(spec.architecture, settings=spec.settings)
+    return simulator.run(spec.workload, spec.config, spec.iterations)
 
 
 def _pool_worker(
@@ -218,9 +212,14 @@ class ExperimentEngine:
                 metrics.cached += 1
             else:
                 to_run.append(index)
+        tele = get_telemetry()
+        tele.count("engine.jobs", metrics.total)
+        tele.count("engine.cache_hits", metrics.cached)
+        tele.count("engine.cache_misses", len(to_run))
+        tele.emit("batch_start", total=metrics.total, cached=metrics.cached)
         self.hooks.on_batch_start(metrics.total, metrics.cached)
         for index in outcomes:
-            self.hooks.on_job_end(outcomes[index])
+            self._job_end(outcomes[index])
 
         if to_run:
             if self.jobs <= 1:
@@ -229,6 +228,16 @@ class ExperimentEngine:
                 self._run_pool(specs, to_run, outcomes, metrics)
 
         metrics.wall_s = time.perf_counter() - start
+        tele.emit(
+            "batch_end",
+            completed=metrics.completed,
+            cached=metrics.cached,
+            failed=metrics.failed,
+            retries=metrics.retries,
+            timeouts=metrics.timeouts,
+            wall_s=round(metrics.wall_s, 6),
+            utilization=round(metrics.worker_utilization(self.jobs), 4),
+        )
         self.hooks.on_batch_end(metrics)
         for index, leader in followers.items():
             lead = outcomes[leader]
@@ -241,6 +250,37 @@ class ExperimentEngine:
                 attempts=0,
             )
         return [outcomes[index] for index in range(len(specs))]
+
+    # -- shared life-cycle reporting ------------------------------------
+
+    def _job_start(self, spec: JobSpec, attempt: int) -> None:
+        """Report one (re)submission on the event bus and to the hooks."""
+        get_telemetry().emit("job_start", label=spec.label, attempt=attempt)
+        self.hooks.on_job_start(spec)
+
+    def _job_end(self, outcome: JobOutcome, queue_s: float = 0.0) -> None:
+        """Report one resolution on the event bus and to the hooks."""
+        tele = get_telemetry()
+        if outcome.status is JobStatus.FAILED:
+            tele.count("engine.failures")
+        elif outcome.status is JobStatus.COMPLETED:
+            tele.count("engine.completed")
+        tele.emit(
+            "job_end",
+            label=outcome.spec.label,
+            status=outcome.status.value,
+            wall_s=round(outcome.wall_s, 6),
+            attempts=outcome.attempts,
+            queue_s=round(queue_s, 6),
+        )
+        self.hooks.on_job_end(outcome)
+
+    def _job_retry(self, spec: JobSpec, attempt: int, metrics: BatchMetrics) -> None:
+        """Count one retry and put it on the event bus."""
+        metrics.retries += 1
+        tele = get_telemetry()
+        tele.count("engine.retries")
+        tele.emit("job_retry", label=spec.label, attempt=attempt)
 
     # -- serial path ----------------------------------------------------
 
@@ -255,13 +295,14 @@ class ExperimentEngine:
             spec = specs[index]
             error = None
             for attempt in range(1, self.retries + 2):
-                self.hooks.on_job_start(spec)
+                self._job_start(spec, attempt)
                 start = time.perf_counter()
                 try:
                     result = execute_spec(spec)
                 except Exception:
                     error = traceback.format_exc()
                     if attempt <= self.retries:
+                        self._job_retry(spec, attempt, metrics)
                         time.sleep(self.backoff_s * 2 ** (attempt - 1))
                     continue
                 wall = time.perf_counter() - start
@@ -285,7 +326,7 @@ class ExperimentEngine:
                     attempts=self.retries + 1,
                 )
                 metrics.failed += 1
-            self.hooks.on_job_end(outcomes[index])
+            self._job_end(outcomes[index])
 
     # -- pool path ------------------------------------------------------
 
@@ -303,13 +344,14 @@ class ExperimentEngine:
 
         def submit(index: int, attempts: int) -> None:
             spec = specs[index]
-            self.hooks.on_job_start(spec)
+            self._job_start(spec, attempts)
             future = pool.submit(_pool_worker, spec, store_root)
             pending[future] = _PendingJob(index, spec, attempts)
 
         def resolve_failure(job: _PendingJob, error: str) -> bool:
             """Retry if budget remains; otherwise record the failure."""
             if job.attempts <= self.retries:
+                self._job_retry(job.spec, job.attempts, metrics)
                 time.sleep(self.backoff_s * 2 ** (job.attempts - 1))
                 submit(job.index, job.attempts + 1)
                 return False
@@ -320,7 +362,7 @@ class ExperimentEngine:
                 attempts=job.attempts,
             )
             metrics.failed += 1
-            self.hooks.on_job_end(outcomes[job.index])
+            self._job_end(outcomes[job.index])
             return True
 
         try:
@@ -363,7 +405,10 @@ class ExperimentEngine:
                     )
                     metrics.completed += 1
                     metrics.job_wall_s.append(wall)
-                    self.hooks.on_job_end(outcomes[job.index])
+                    queue_s = (
+                        time.perf_counter() - job.submitted_at
+                    ) - wall
+                    self._job_end(outcomes[job.index], max(queue_s, 0.0))
                 if self.timeout_s is None:
                     continue
                 now = time.perf_counter()
@@ -373,6 +418,15 @@ class ExperimentEngine:
                     if not future.cancel():
                         abandoned_running = True
                     del pending[future]
+                    metrics.timeouts += 1
+                    tele = get_telemetry()
+                    tele.count("engine.timeouts")
+                    tele.emit(
+                        "job_timeout",
+                        label=job.spec.label,
+                        timeout_s=self.timeout_s,
+                        attempt=job.attempts,
+                    )
                     resolve_failure(
                         job,
                         f"TimeoutError: job exceeded {self.timeout_s}s "

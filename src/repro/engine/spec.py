@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.array.architecture import PIMArchitecture
 from repro.balance.config import BalanceConfig
+from repro.core.settings import SimulationSettings
 from repro.workloads.base import Workload
 
 #: Bump when the simulation semantics change in a way that invalidates
@@ -62,6 +63,44 @@ class JobSpec:
             raise ValueError(
                 f"kernel must be 'batched' or 'epoch', got {self.kernel!r}"
             )
+
+    @classmethod
+    def from_settings(
+        cls,
+        workload: Workload,
+        architecture: PIMArchitecture,
+        config: BalanceConfig = BalanceConfig(),
+        iterations: int = 100_000,
+        settings: Optional[SimulationSettings] = None,
+    ) -> "JobSpec":
+        """Build a spec from a :class:`SimulationSettings`.
+
+        The settings' telemetry options are sink configuration, not
+        simulation identity, so they do not appear on the spec (and thus
+        never reach the content hash). A spec built this way hashes
+        identically to one built with the legacy per-field kwargs.
+        """
+        settings = settings if settings is not None else SimulationSettings()
+        return cls(
+            workload=workload,
+            architecture=architecture,
+            config=config,
+            iterations=iterations,
+            seed=settings.seed,
+            track_reads=settings.track_reads,
+            kernel=settings.kernel,
+            chunk_size=settings.chunk_size,
+        )
+
+    @property
+    def settings(self) -> SimulationSettings:
+        """The spec's execution knobs as a :class:`SimulationSettings`."""
+        return SimulationSettings(
+            seed=self.seed,
+            kernel=self.kernel,
+            chunk_size=self.chunk_size,
+            track_reads=self.track_reads,
+        )
 
     def identity(self) -> dict:
         """The canonical JSON-able dict the content hash is computed over."""

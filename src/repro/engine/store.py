@@ -19,6 +19,7 @@ from typing import Iterator, Optional, Union
 from repro.core.io import LoadedResult, load_result, save_result
 from repro.core.simulator import SimulationResult
 from repro.engine.spec import JobSpec
+from repro.telemetry import get_telemetry
 
 
 class ResultStore:
@@ -52,6 +53,11 @@ class ResultStore:
         """Where the JSON sidecar for ``key`` lives."""
         digest = self._hash_of(key)
         return self.root / digest[:2] / f"{digest}.json"
+
+    def manifest_for(self, key: Union[JobSpec, str]) -> Path:
+        """Where the per-run manifest for ``key`` lives."""
+        digest = self._hash_of(key)
+        return self.root / digest[:2] / f"{digest}.manifest.json"
 
     # -- operations -----------------------------------------------------
 
@@ -100,13 +106,53 @@ class ResultStore:
             json.dumps(record, indent=2, sort_keys=True), encoding="utf-8"
         )
         os.replace(tmp_sidecar, sidecar)
+        self._write_manifest(spec, wall_s)
         return path
+
+    def _write_manifest(self, spec: JobSpec, wall_s: Optional[float]) -> None:
+        """Write the run manifest next to the entry (atomic, best-effort).
+
+        The manifest records how the result was produced — spec hash,
+        seed, kernel, chunk size, wall time — plus a snapshot of the
+        producing process's telemetry aggregates. In pool mode that is
+        the worker's own registry, so the snapshot describes (at least)
+        exactly the runs that worker performed.
+        """
+        manifest = {
+            "content_hash": spec.content_hash,
+            "label": spec.label,
+            "seed": spec.seed,
+            "kernel": spec.kernel,
+            "chunk_size": spec.chunk_size,
+            "iterations": spec.iterations,
+            "track_reads": spec.track_reads,
+            "wall_s": wall_s,
+            "telemetry": get_telemetry().snapshot(),
+        }
+        path = self.manifest_for(spec)
+        tmp = path.with_suffix(".tmp.json")
+        tmp.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+
+    def load_manifest(self, key: Union[JobSpec, str]) -> Optional[dict]:
+        """The per-run manifest for ``key``, or ``None`` when absent."""
+        path = self.manifest_for(key)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
 
     # -- introspection --------------------------------------------------
 
     def hashes(self) -> Iterator[str]:
         """Content hashes of every complete entry."""
         for sidecar in sorted(self.root.glob("*/*.json")):
+            if sidecar.name.endswith(".manifest.json"):
+                continue
             if sidecar.with_suffix(".npz").exists():
                 yield sidecar.stem
 
@@ -119,5 +165,6 @@ class ResultStore:
         for digest in list(self.hashes()):
             self.path_for(digest).unlink(missing_ok=True)
             self.sidecar_for(digest).unlink(missing_ok=True)
+            self.manifest_for(digest).unlink(missing_ok=True)
             removed += 1
         return removed

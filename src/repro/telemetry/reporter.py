@@ -1,0 +1,36 @@
+"""The sanctioned console-output module.
+
+Every piece of user-facing text the package writes to a terminal funnels
+through :func:`say` — the **only** place in ``src/repro`` allowed to call
+``print`` (enforced by ruff rule T201 with a per-file ignore for this
+module). Centralizing output keeps artifact text on stdout redirectable,
+lets progress chatter go to stderr, and gives tests a single seam to
+capture or silence.
+
+The module deliberately stays dumb: no formatting conventions, no state.
+Structured information belongs on the telemetry event bus
+(:mod:`repro.telemetry.core`); this is strictly the last hop to a human's
+terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+
+def say(text: str = "", *, stream: Optional[TextIO] = None, flush: bool = False) -> None:
+    """Write one line of user-facing text.
+
+    Args:
+        text: The line to write (without trailing newline).
+        stream: Target stream; default stdout. Progress chatter should
+            pass ``sys.stderr`` so redirected artifacts stay clean.
+        flush: Flush the stream after writing (progress lines want this).
+    """
+    print(text, file=stream if stream is not None else sys.stdout, flush=flush)
+
+
+def warn(text: str, *, flush: bool = True) -> None:
+    """Write one line of user-facing text to stderr."""
+    say(text, stream=sys.stderr, flush=flush)

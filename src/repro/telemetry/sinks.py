@@ -1,0 +1,166 @@
+"""Pluggable destinations for telemetry event records.
+
+A sink receives every record emitted on a :class:`~repro.telemetry.core.
+Telemetry` bus as a plain dict (``{"ts": ..., "event": ..., **fields}``)
+and does exactly one thing with it: bridge it to stdlib ``logging``
+(:class:`LoggingSink`), append it to a JSONL trace file
+(:class:`JsonlSink`), keep it in memory for assertions
+(:class:`CaptureSink`), or render a compact progress line on stderr
+(:class:`ProgressSink`). Sinks must never raise into the hot path and
+must tolerate records they do not understand — unknown events are a
+forward-compatibility feature, not an error.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import threading
+from typing import Dict, List, Optional, TextIO
+
+from repro.telemetry.reporter import say
+
+
+class Sink:
+    """Base class for event destinations; subclasses override both hooks."""
+
+    def handle(self, record: Dict) -> None:
+        """Receive one event record (a plain, JSON-able dict)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any resources; safe to call twice."""
+
+
+class CaptureSink(Sink):
+    """In-memory capture for tests.
+
+    Attributes:
+        records: Every record received, in emission order.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[Dict] = []
+
+    def handle(self, record: Dict) -> None:
+        """Append the record to :attr:`records`."""
+        self.records.append(record)
+
+    def of(self, event: str) -> List[Dict]:
+        """The captured records for one event name, in order."""
+        return [r for r in self.records if r.get("event") == event]
+
+
+class LoggingSink(Sink):
+    """Bridge events onto a stdlib :mod:`logging` logger.
+
+    Args:
+        logger: Target logger (default ``repro.telemetry``).
+        level: Level every event is logged at (default ``INFO``).
+    """
+
+    def __init__(
+        self,
+        logger: Optional[logging.Logger] = None,
+        level: int = logging.INFO,
+    ) -> None:
+        self.logger = logger if logger is not None else logging.getLogger(
+            "repro.telemetry"
+        )
+        self.level = level
+
+    def handle(self, record: Dict) -> None:
+        """Log the record as ``event key=value ...``."""
+        if not self.logger.isEnabledFor(self.level):
+            return
+        fields = " ".join(
+            f"{key}={record[key]}"
+            for key in sorted(record)
+            if key not in ("event", "ts")
+        )
+        self.logger.log(self.level, "%s %s", record.get("event"), fields)
+
+
+class JsonlSink(Sink):
+    """Append every record to a JSON-lines trace file.
+
+    The file is opened lazily on the first record and written line-
+    buffered, one JSON object per line, so a trace of an interrupted run
+    contains only complete records. Thread-safe; multiple processes must
+    use distinct paths (the engine's pool workers each run their own
+    process-local telemetry).
+
+    Args:
+        path: Trace file path; truncated at first write.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._fh: Optional[TextIO] = None
+        self._lock = threading.Lock()
+
+    def handle(self, record: Dict) -> None:
+        """Serialize the record to one JSONL line."""
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._fh is None:
+                self._fh = open(self.path, "w", encoding="utf-8")
+            self._fh.write(line + "\n")
+
+    def close(self) -> None:
+        """Flush and close the trace file."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+class ProgressSink(Sink):
+    """Render selected events as one-line progress messages on stderr.
+
+    The CLI attaches this for ``--progress``: phase completions, engine
+    job resolutions, and grid progress become compact human-readable
+    lines without touching stdout artifacts.
+
+    Args:
+        stream: Target stream (default stderr).
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def handle(self, record: Dict) -> None:
+        """Format known events; silently drop the rest."""
+        event = record.get("event")
+        line = None
+        if event == "phase":
+            line = (
+                f"[phase] {record.get('name')} "
+                f"{record.get('seconds', 0.0):.3f}s"
+            )
+        elif event == "grid_progress":
+            line = (
+                f"[grid] {record.get('done')}/{record.get('total')} "
+                f"{record.get('label')}"
+            )
+        elif event == "job_end":
+            line = (
+                f"[job] {record.get('status')} {record.get('label')} "
+                f"({record.get('wall_s', 0.0):.2f}s)"
+            )
+        elif event == "batch_end":
+            line = (
+                f"[batch] {record.get('completed')} simulated, "
+                f"{record.get('cached')} cached, "
+                f"{record.get('failed')} failed in "
+                f"{record.get('wall_s', 0.0):.2f}s"
+            )
+        elif event == "simulation":
+            line = (
+                f"[sim] {record.get('workload')} {record.get('config')} "
+                f"x{record.get('iterations')} "
+                f"({record.get('seconds', 0.0):.2f}s)"
+            )
+        if line is not None:
+            say(line, stream=self.stream, flush=True)

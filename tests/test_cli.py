@@ -166,3 +166,94 @@ class TestEngineFlags:
         captured = capsys.readouterr()
         assert "50" in captured.out
         assert "3 job(s)" in captured.err
+
+
+SIM_SUBCOMMANDS = (
+    "heatmap", "fig17", "table3", "lifetime", "report", "export",
+    "deployment", "remap-sweep",
+)
+
+
+class TestFlagAudit:
+    """Every simulation-backed subcommand accepts the full flag set."""
+
+    @pytest.mark.parametrize("command", SIM_SUBCOMMANDS)
+    def test_full_flag_set_parses_after_subcommand(self, command):
+        parser = build_parser()
+        args = parser.parse_args([
+            command,
+            "--jobs", "2", "--cache-dir", "x",
+            "--seed", "9", "--kernel", "epoch", "--chunk-size", "64",
+            "--log-level", "info", "--trace", "t.jsonl", "--progress",
+        ])
+        assert args.jobs == 2
+        assert args.cache_dir == "x"
+        assert args.seed == 9
+        assert args.kernel == "epoch"
+        assert args.chunk_size == 64
+        assert args.log_level == "info"
+        assert args.trace == "t.jsonl"
+        assert args.progress is True
+
+    @pytest.mark.parametrize("command", SIM_SUBCOMMANDS)
+    def test_global_flags_survive_subcommand_defaults(self, command):
+        """Subcommand duplicates must not clobber main-parser values."""
+        parser = build_parser()
+        args = parser.parse_args(
+            ["--seed", "9", "--kernel", "epoch", "--trace", "t.jsonl",
+             command]
+        )
+        assert args.seed == 9
+        assert args.kernel == "epoch"
+        assert args.trace == "t.jsonl"
+
+
+class TestTelemetryFlags:
+    def test_trace_writes_jsonl_and_stats_summarizes(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "--rows", "256", "--cols", "64",
+            "heatmap", "--iterations", "50", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert trace.exists()
+
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "record(s)" in out
+        assert "simulations: 1 run(s)" in out
+        assert "kernel" in out  # per-phase timings
+
+    def test_traced_engine_run_reports_cache_and_jobs(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        argv = [
+            "--rows", "256", "--cols", "64", "--trace", str(trace),
+            "heatmap", "--iterations", "50",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 0  # warm: trace rewritten with a cache hit
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "cache: 1 hit(s), 0 miss(es)" in out
+        assert "cached" in out
+
+    def test_progress_flag_renders_lines_on_stderr(self, capsys):
+        main([
+            "--rows", "256", "--cols", "64",
+            "heatmap", "--iterations", "50", "--progress",
+        ])
+        captured = capsys.readouterr()
+        assert "[sim]" in captured.err
+        assert "[phase]" in captured.err
+
+    def test_stats_rejects_malformed_trace(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"event": "phase"}\n')
+        with pytest.raises(SystemExit, match="invalid trace"):
+            main(["stats", str(bad)])
+
+    def test_stats_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["stats", str(tmp_path / "absent.jsonl")])

@@ -16,8 +16,20 @@ from repro.engine import (
     ResultStore,
     require_ok,
 )
+from repro.telemetry import Telemetry, capture, set_telemetry
 from repro.workloads.base import Workload
 from repro.workloads.multiply import ParallelMultiplication
+
+
+@pytest.fixture
+def fresh_telemetry():
+    """An isolated process-local registry for counter assertions."""
+    fresh = Telemetry()
+    previous = set_telemetry(fresh)
+    try:
+        yield fresh
+    finally:
+        set_telemetry(previous)
 
 
 class CountingHooks(EngineHooks):
@@ -232,3 +244,114 @@ class TestValidation:
     def test_negative_retries_rejected(self):
         with pytest.raises(ValueError, match="retries"):
             ExperimentEngine(retries=-1)
+
+
+class TestFailureTelemetry:
+    """Failures leave a full audit trail: outcome fields, counters, events."""
+
+    def test_raising_worker_emits_events_and_counters(
+        self, tiny_arch, fresh_telemetry
+    ):
+        bad = make_specs(tiny_arch, [BalanceConfig()], bits=32)[0]
+        with capture() as sink:
+            outcome = ExperimentEngine(retries=2, backoff_s=0.0).run_one(bad)
+
+        assert outcome.status is JobStatus.FAILED
+        assert outcome.result is None
+        assert outcome.attempts == 3
+        assert "lane capacity" in outcome.error
+
+        assert fresh_telemetry.counters["engine.retries"] == 2
+        assert fresh_telemetry.counters["engine.failures"] == 1
+
+        retry_events = sink.of("job_retry")
+        assert [e["attempt"] for e in retry_events] == [1, 2]
+        (end,) = sink.of("job_end")
+        assert end["status"] == "failed"
+        assert end["attempts"] == 3
+        assert end["label"] == bad.label
+
+    def test_transient_failure_trail_ends_in_success(
+        self, tiny_arch, tmp_path, fresh_telemetry
+    ):
+        flaky = FlakyWorkload(tmp_path / "marker")
+        spec = JobSpec(
+            workload=flaky,
+            architecture=tiny_arch,
+            config=BalanceConfig(),
+            iterations=50,
+        )
+        with capture() as sink:
+            outcome = ExperimentEngine(retries=1, backoff_s=0.0).run_one(spec)
+
+        assert outcome.status is JobStatus.COMPLETED
+        assert outcome.attempts == 2
+        assert fresh_telemetry.counters["engine.retries"] == 1
+        assert "engine.failures" not in fresh_telemetry.counters
+        starts = sink.of("job_start")
+        assert [e["attempt"] for e in starts] == [1, 2]
+        (end,) = sink.of("job_end")
+        assert end["status"] == "completed"
+        assert end["attempts"] == 2
+        assert end["wall_s"] >= 0
+
+    def test_batch_events_cover_census_and_metrics(
+        self, tiny_arch, tmp_path, fresh_telemetry
+    ):
+        specs = make_specs(tiny_arch, all_configurations()[:3])
+        store = ResultStore(tmp_path)
+        ExperimentEngine(store=store).run(specs[:1])
+        fresh_telemetry.reset()
+
+        with capture() as sink:
+            ExperimentEngine(store=store).run(specs)
+
+        (start,) = sink.of("batch_start")
+        assert start["total"] == 3
+        assert start["cached"] == 1
+        (end,) = sink.of("batch_end")
+        assert end["completed"] == 2
+        assert end["cached"] == 1
+        assert end["failed"] == 0
+        assert 0.0 <= end["utilization"]
+        assert fresh_telemetry.counters["engine.cache_hits"] == 1
+        assert fresh_telemetry.counters["engine.cache_misses"] == 2
+        cached_ends = [
+            e for e in sink.of("job_end") if e["status"] == "cached"
+        ]
+        assert len(cached_ends) == 1
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="test workload classes pickle by reference (fork only)",
+    )
+    def test_timeout_counted_and_emitted(self, tiny_arch, fresh_telemetry):
+        slow = JobSpec(
+            workload=SleepyWorkload(seconds=2.0),
+            architecture=tiny_arch,
+            config=BalanceConfig(),
+            iterations=50,
+        )
+        with capture() as sink:
+            outcomes = ExperimentEngine(
+                jobs=2, retries=0, timeout_s=0.4, backoff_s=0.0
+            ).run([slow])
+
+        assert outcomes[0].status is JobStatus.FAILED
+        assert fresh_telemetry.counters["engine.timeouts"] == 1
+        (timeout,) = sink.of("job_timeout")
+        assert timeout["timeout_s"] == 0.4
+        assert timeout["label"] == slow.label
+        (end,) = sink.of("job_end")
+        assert end["status"] == "failed"
+
+    def test_job_end_events_round_trip_through_trace_schema(
+        self, tiny_arch, fresh_telemetry
+    ):
+        from repro.telemetry import validate_record
+
+        specs = make_specs(tiny_arch, [BalanceConfig()])
+        with capture() as sink:
+            ExperimentEngine().run(specs)
+        for record in sink.records:
+            validate_record(record)

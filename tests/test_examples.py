@@ -82,3 +82,21 @@ class TestExamples:
         _run("resumable_sweep.py", argv=argv, monkeypatch=monkeypatch)
         out = capsys.readouterr().out
         assert "18 job(s): 18 cached" in out
+
+    def test_traced_sweep(self, capsys, monkeypatch, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        _run(
+            "traced_sweep.py",
+            argv=["traced_sweep.py", str(trace)],
+            monkeypatch=monkeypatch,
+        )
+        out = capsys.readouterr().out
+        assert "swept 2 recompile intervals" in out
+        assert "simulations: 3 run(s)" in out
+        assert trace.exists()
+
+        from repro.telemetry import summarize_trace
+
+        summary = summarize_trace(str(trace))
+        assert summary["events"]["simulation"] == 3
+        assert summary["events"]["grid_progress"] == 3

@@ -1,0 +1,90 @@
+"""Pin the public API surface of the top-level packages.
+
+These tests fail loudly when a re-export is dropped or an unexported
+name leaks into ``__all__`` — the import surface is part of the repo's
+contract, not an accident of module internals.
+"""
+
+import importlib
+
+import pytest
+
+REPRO_ALL = {
+    "__version__",
+    # array
+    "ArrayGeometry", "ArrayState", "Orientation", "PIMArchitecture",
+    "default_architecture",
+    # balance
+    "BalanceConfig", "StrategyKind", "all_configurations",
+    # core
+    "EnduranceSimulator", "SimulationSettings", "SimulationResult",
+    "WriteDistribution", "LifetimeEstimate", "lifetime_from_result",
+    "lifetime_improvement", "configuration_grid", "remap_frequency_sweep",
+    "technology_sweep", "eq1_operations_until_total_failure",
+    "eq2_seconds_until_total_failure", "FailureTimeline",
+    "failure_timeline", "minimum_footprint",
+    # devices
+    "Technology", "MRAM", "RRAM", "PCM", "technology_by_name",
+    # gates
+    "GateOp", "GateLibrary", "NAND_LIBRARY", "MINIMAL_LIBRARY",
+    # workloads
+    "Workload", "ParallelMultiplication", "DotProduct", "Convolution",
+    "ConventionalBaseline", "VectorAdd", "BinaryNeuron",
+    "MatrixVectorProduct",
+    # telemetry
+    "Telemetry", "get_telemetry",
+}
+
+ENGINE_ALL = {
+    "BatchMetrics", "EngineError", "EngineHooks", "ExperimentEngine",
+    "JobOutcome", "JobStatus", "JobSpec", "ResultStore", "SPEC_VERSION",
+    "SimulationSettings", "TextReporter", "execute_spec", "require_ok",
+    "run_simulation",
+}
+
+TELEMETRY_ALL = {
+    "CaptureSink", "EVENT_FIELDS", "JsonlSink", "LoggingSink",
+    "ProgressSink", "Sink", "Telemetry", "TraceSchemaError", "capture",
+    "format_stats", "get_telemetry", "iter_trace", "set_telemetry",
+    "summarize_trace", "validate_record",
+}
+
+
+@pytest.mark.parametrize(
+    "module_name, expected",
+    [
+        ("repro", REPRO_ALL),
+        ("repro.engine", ENGINE_ALL),
+        ("repro.telemetry", TELEMETRY_ALL),
+    ],
+)
+class TestPublicSurface:
+    def test_all_matches_pin(self, module_name, expected):
+        module = importlib.import_module(module_name)
+        assert set(module.__all__) == expected
+
+    def test_every_name_resolves(self, module_name, expected):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert getattr(module, name) is not None
+
+    def test_all_is_sorted_unique(self, module_name, expected):
+        module = importlib.import_module(module_name)
+        assert len(module.__all__) == len(set(module.__all__))
+
+
+class TestCrossExports:
+    def test_settings_is_the_same_object_everywhere(self):
+        import repro
+        import repro.core
+        import repro.engine
+
+        assert repro.SimulationSettings is repro.core.SimulationSettings
+        assert repro.SimulationSettings is repro.engine.SimulationSettings
+
+    def test_telemetry_is_the_same_object_everywhere(self):
+        import repro
+        import repro.telemetry
+
+        assert repro.Telemetry is repro.telemetry.Telemetry
+        assert repro.get_telemetry is repro.telemetry.get_telemetry
