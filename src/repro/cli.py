@@ -358,7 +358,12 @@ def cmd_switching(args) -> None:
 
     arch = default_architecture(args.rows, args.cols)
     program = ParallelMultiplication(bits=args.bits).build_program(arch)
-    profile = measure_switching(program, samples=args.samples, rng=args.seed)
+    profile = measure_switching(
+        program,
+        samples=args.samples,
+        rng=args.seed,
+        evaluator=args.evaluator,
+    )
     say(
         f"{args.bits}-bit multiply, {args.samples} random-operand samples:\n"
         f"  writes/iteration:   {int(profile.writes.sum())}\n"
@@ -505,6 +510,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("switching", help="data-dependent switching wear")
     p.add_argument("--bits", type=int, default=16)
     p.add_argument("--samples", type=int, default=32)
+    p.add_argument(
+        "--evaluator",
+        default="compiled",
+        choices=("compiled", "interpreted"),
+        help="functional backend (identical results; compiled is faster)",
+    )
     p.set_defaults(func=cmd_switching)
 
     p = sub.add_parser("deployment", help="duty-cycle / array-farm lifetimes")

@@ -40,7 +40,11 @@ from repro.core.failure import (
 from repro.core.system import ArrayFarm, FarmLifetime, lifetime_at_duty_cycle
 from repro.core.switching import SwitchingProfile, measure_switching
 from repro.core.cluster import ClusterResult, PartitionedDotProduct
-from repro.core.accuracy import AccuracyReport, measure_fault_accuracy
+from repro.core.accuracy import (
+    EVALUATORS,
+    AccuracyReport,
+    measure_fault_accuracy,
+)
 
 __all__ = [
     "WriteDistribution",
@@ -70,4 +74,5 @@ __all__ = [
     "PartitionedDotProduct",
     "AccuracyReport",
     "measure_fault_accuracy",
+    "EVALUATORS",
 ]

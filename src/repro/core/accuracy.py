@@ -16,11 +16,15 @@ thing as a harmlessly-dead workspace bit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.synth.program import LaneProgram
+
+#: Functional-evaluation backends: the SWAR batch evaluator (default) and
+#: the per-instruction interpreter it is property-tested against.
+EVALUATORS = ("compiled", "interpreted")
 
 
 @dataclass(frozen=True)
@@ -49,6 +53,7 @@ def measure_fault_accuracy(
     rng: "np.random.Generator | int | None" = None,
     output: Optional[str] = None,
     fault_addresses: Optional[Sequence[int]] = None,
+    evaluator: str = "compiled",
 ) -> AccuracyReport:
     """Measure a program's output accuracy with stuck-at faults injected.
 
@@ -67,11 +72,21 @@ def measure_fault_accuracy(
         output: Output name (defaults to the program's only output).
         fault_addresses: Restrict fault positions to these addresses
             (e.g. only workspace cells); default is the whole footprint.
+        evaluator: ``"compiled"`` evaluates every sample in one SWAR
+            batch (:meth:`CompiledProgram.evaluate_batch`);
+            ``"interpreted"`` walks the per-instruction interpreter per
+            sample. Both draw the identical RNG stream and return
+            bit-identical reports — the interpreter survives as the
+            reference the compiled path is tested against.
     """
     if n_faults < 0:
         raise ValueError("n_faults must be non-negative")
     if samples < 1:
         raise ValueError("samples must be positive")
+    if evaluator not in EVALUATORS:
+        raise ValueError(
+            f"evaluator must be one of {EVALUATORS}, got {evaluator!r}"
+        )
     if output is None:
         if len(program.outputs) != 1:
             raise ValueError(
@@ -88,21 +103,43 @@ def measure_fault_accuracy(
         raise ValueError("more faults than candidate addresses")
 
     widths = {name: len(addrs) for name, addrs in program.inputs.items()}
-    errors = 0
-    relative_errors = []
+    # Both evaluators consume the exact same RNG call sequence: per
+    # sample, one integer draw per operand, then the fault positions and
+    # stuck values — so reports are identical regardless of backend.
+    operand_draws: Dict[str, List[int]] = {name: [] for name in widths}
+    expected_values: List[int] = []
+    stuck_maps: List[Dict[int, int]] = []
     for _ in range(samples):
-        operands = {
-            name: int(generator.integers(0, 2**width))
-            for name, width in widths.items()
-        }
-        expected = reference(**operands)
+        operands = {}
+        for name, width in widths.items():
+            value = int(generator.integers(0, 2**width))
+            operands[name] = value
+            operand_draws[name].append(value)
+        expected_values.append(reference(**operands))
         stuck: Dict[int, int] = {}
         if n_faults:
             chosen = generator.choice(positions, size=n_faults, replace=False)
             for address in chosen:
                 stuck[int(address)] = int(generator.integers(0, 2))
-        outputs, _ = program.evaluate(operands, stuck=stuck)
-        actual = outputs[output]
+        stuck_maps.append(stuck)
+
+    if evaluator == "compiled":
+        batch_outputs, _ = program.compiled().evaluate_batch(
+            operand_draws, stuck=stuck_maps if n_faults else None
+        )
+        actual_values = [int(v) for v in batch_outputs[output]]
+    else:
+        actual_values = []
+        for index in range(samples):
+            outputs, _ = program.evaluate(
+                {name: operand_draws[name][index] for name in widths},
+                stuck=stuck_maps[index],
+            )
+            actual_values.append(outputs[output])
+
+    errors = 0
+    relative_errors = []
+    for actual, expected in zip(actual_values, expected_values):
         if actual != expected:
             errors += 1
             relative_errors.append(

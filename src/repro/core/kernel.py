@@ -198,15 +198,13 @@ def run_batched_epochs(
                 f"program {program.name!r} needs {program.footprint} bits, "
                 f"lane has {lane_size}"
             )
-        writes = program.write_counts(
+        writes = program.write_profile(
             lane_size, include_presets=architecture.presets_output
-        ).astype(np.float64)
+        )
         write_profiles[key] = writes
         epoch_lane_writes[key] = float(writes.sum())
         if track_reads:
-            read_profiles[key] = program.read_counts(lane_size).astype(
-                np.float64
-            )
+            read_profiles[key] = program.read_profile(lane_size)
 
     wear = (
         state.lane_view(state.write_counts, orientation)

@@ -21,6 +21,7 @@ import warnings
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.core.accuracy import EVALUATORS
 from repro.core.kernel import KERNELS
 
 _LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
@@ -39,6 +40,10 @@ class SimulationSettings:
             ``"epoch"`` (per-epoch oracle loop). Bit-identical results.
         chunk_size: Batched-kernel epochs per GEMM (``None`` = default);
             a pure speed/memory knob, validated where it is consumed.
+        evaluator: Functional-evaluation backend — ``"compiled"`` (SWAR
+            bitplane batches) or ``"interpreted"`` (per-instruction
+            loop). Bit-identical results; a pure speed knob, so it is
+            excluded from job content hashes like the kernel knobs.
         track_reads: Accumulate the read distribution too (disable to
             halve accumulation cost on large sweeps).
         log_level: Telemetry: stdlib-logging level name to bridge events
@@ -50,6 +55,7 @@ class SimulationSettings:
     seed: int = 0
     kernel: str = "batched"
     chunk_size: Optional[int] = None
+    evaluator: str = "compiled"
     track_reads: bool = True
     log_level: Optional[str] = None
     trace_path: Optional[str] = None
@@ -59,6 +65,11 @@ class SimulationSettings:
         if self.kernel not in KERNELS:
             raise ValueError(
                 f"kernel must be one of {KERNELS}, got {self.kernel!r}"
+            )
+        if self.evaluator not in EVALUATORS:
+            raise ValueError(
+                f"evaluator must be one of {EVALUATORS}, "
+                f"got {self.evaluator!r}"
             )
         if (
             self.log_level is not None

@@ -22,6 +22,7 @@ comparison) into sequences of basic logic gates performed within a lane
 """
 
 from repro.synth.bits import BitAllocator, BitVector
+from repro.synth.compiled import CompiledProgram, compile_program
 from repro.synth.program import (
     LaneProgram,
     LaneProgramBuilder,
@@ -42,6 +43,8 @@ from repro.synth.analysis import (
 __all__ = [
     "BitAllocator",
     "BitVector",
+    "CompiledProgram",
+    "compile_program",
     "LaneProgram",
     "LaneProgramBuilder",
     "WriteInstr",

@@ -114,6 +114,7 @@ class LaneProgram:
         self.inputs = dict(inputs)
         self.outputs = dict(outputs)
         self._counts_cache: Dict[Tuple[str, int, bool], np.ndarray] = {}
+        self._compiled = None
         self._validate()
 
     def _validate(self) -> None:
@@ -205,6 +206,37 @@ class LaneProgram:
             cached = self._counts_cache[key] = counts
         return cached.copy()
 
+    def write_profile(
+        self, size: Optional[int] = None, include_presets: bool = False
+    ) -> np.ndarray:
+        """:meth:`write_counts` as a cached read-only float64 vector.
+
+        The epoch accumulator consumes one float64 profile per program per
+        epoch; this variant returns the same numbers without the per-call
+        defensive copy and dtype cast. Callers must not mutate the result
+        (it is marked non-writeable).
+        """
+        n = self.footprint if size is None else int(size)
+        key = ("write_f64", n, include_presets)
+        cached = self._counts_cache.get(key)
+        if cached is None:
+            counts = self.write_counts(n, include_presets)
+            counts = counts.astype(np.float64)
+            counts.setflags(write=False)
+            cached = self._counts_cache[key] = counts
+        return cached
+
+    def read_profile(self, size: Optional[int] = None) -> np.ndarray:
+        """:meth:`read_counts` as a cached read-only float64 vector."""
+        n = self.footprint if size is None else int(size)
+        key = ("read_f64", n, False)
+        cached = self._counts_cache.get(key)
+        if cached is None:
+            counts = self.read_counts(n).astype(np.float64)
+            counts.setflags(write=False)
+            cached = self._counts_cache[key] = counts
+        return cached
+
     @property
     def total_writes(self) -> int:
         """Total cell writes in one run (without presets)."""
@@ -235,6 +267,17 @@ class LaneProgram:
     # ------------------------------------------------------------------
     # Functional evaluation
     # ------------------------------------------------------------------
+
+    def compiled(self):
+        """The cached structure-of-arrays compilation of this program.
+
+        See :func:`repro.synth.compiled.compile_program`; built lazily on
+        first use and shared by every caller of the batch evaluator, the
+        vectorized replay, and the interpreter's read-out preallocation.
+        """
+        from repro.synth.compiled import compile_program
+
+        return compile_program(self)
 
     def evaluate(
         self,
@@ -280,6 +323,10 @@ class LaneProgram:
                 operands[name], len(addresses)
             )
         memory: Dict[int, int] = dict(stuck)
+        # Streams are preallocated at their final length (the compiled
+        # program knows each tag's max index), not grown with a per-bit
+        # append loop — that pad was quadratic in stream length.
+        readout_sizes = self.compiled().readout_sizes
         readouts: Dict[str, List[int]] = {}
 
         def store(address: int, value: int) -> None:
@@ -295,9 +342,11 @@ class LaneProgram:
             elif isinstance(instr, ReadInstr):
                 value = self._read_bit(memory, instr.address)
                 if instr.tag is not None:
-                    stream = readouts.setdefault(instr.tag, [])
-                    while len(stream) <= instr.index:
-                        stream.append(0)
+                    stream = readouts.get(instr.tag)
+                    if stream is None:
+                        stream = readouts[instr.tag] = (
+                            [0] * readout_sizes[instr.tag]
+                        )
                     stream[instr.index] = value
             else:  # Gate
                 values = tuple(self._read_bit(memory, a) for a in instr.inputs)

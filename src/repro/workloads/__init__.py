@@ -21,6 +21,7 @@ from repro.workloads.base import (
     Workload,
     WorkloadMapping,
     evaluate_networked,
+    evaluate_networked_batch,
 )
 from repro.workloads.multiply import ParallelMultiplication
 from repro.workloads.dotproduct import DotProduct
@@ -35,6 +36,7 @@ __all__ = [
     "Workload",
     "WorkloadMapping",
     "evaluate_networked",
+    "evaluate_networked_batch",
     "ParallelMultiplication",
     "DotProduct",
     "Convolution",

@@ -261,3 +261,72 @@ def evaluate_networked(
                 raise ValueError(f"duplicate transfer tag {tag!r}")
             pool[tag] = bits
     return outputs, pool
+
+
+def evaluate_networked_batch(
+    programs: Mapping[int, LaneProgram],
+    operands: Mapping[int, Mapping[str, Sequence[int]]],
+    order: Sequence[int],
+    externals: Optional[Mapping[str, "object"]] = None,
+    draws: Optional[int] = None,
+):
+    """Batched :func:`evaluate_networked`: N operand draws per lane at once.
+
+    Each lane is evaluated with its compiled SWAR kernel
+    (:meth:`CompiledProgram.evaluate_batch`); the transfer pool carries
+    ``(N, width)`` uint8 readout arrays, so a sender's tagged read-out
+    feeds its receivers' external writes draw-for-draw. Draw ``n`` of the
+    batch is exactly the network :func:`evaluate_networked` would compute
+    from draw ``n``'s operands — the scalar path remains the reference
+    the batch path is property-tested against.
+
+    Args:
+        programs: Lane -> its (individually wired) program.
+        operands: Lane -> operand name -> N values for that lane.
+        order: Evaluation order (senders before receivers).
+        externals: Optional pre-seeded pool of ``(N, width)`` bit arrays.
+        draws: Batch size N; required only when it is not implied by any
+            operand or pre-seeded stream.
+
+    Returns:
+        ``(outputs, pool)``: per-lane ``{name: (N,) object ndarray}`` of
+        exact integers, and the final pool (tag -> ``(N, width)`` uint8).
+    """
+    import numpy as np
+
+    pool: Dict[str, "np.ndarray"] = {
+        tag: np.asarray(bits, dtype=np.uint8)
+        for tag, bits in (externals or {}).items()
+    }
+    if set(order) != set(programs):
+        raise ValueError("order must cover exactly the mapped lanes")
+    if draws is None:
+        for lane_operands in operands.values():
+            for values in lane_operands.values():
+                draws = len(values)
+                break
+            if draws is not None:
+                break
+        else:
+            for bits in pool.values():
+                draws = int(np.asarray(bits).shape[0])
+                break
+        if draws is None:
+            raise ValueError("pass draws= when no operands imply a batch size")
+    outputs: Dict[int, Dict[str, "np.ndarray"]] = {}
+    for lane in order:
+        compiled = programs[lane].compiled()
+        # Hand each lane only the streams it consumes: packing the whole
+        # pool for every lane would make wide reductions quadratic.
+        consumed = {
+            tag: pool[tag] for tag in compiled.external_tags if tag in pool
+        }
+        lane_outputs, readouts = compiled.evaluate_batch(
+            dict(operands.get(lane, {})), externals=consumed, draws=draws
+        )
+        outputs[lane] = lane_outputs
+        for tag, bits in readouts.items():
+            if tag in pool:
+                raise ValueError(f"duplicate transfer tag {tag!r}")
+            pool[tag] = bits
+    return outputs, pool

@@ -71,6 +71,81 @@ class TestReplay:
             )
 
 
+class TestCompiledReplayMatchesInterpreter:
+    @given(
+        seed=st.integers(0, 1000),
+        repetitions=st.integers(1, 4),
+        presets=st.booleans(),
+        identity_maps=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_equivalence_under_random_maps(
+        self, seed, repetitions, presets, identity_maps
+    ):
+        base = default_architecture(16, 12)
+        arch = base if presets else PINATUBO.resized(16, 12)
+        rng = np.random.default_rng(seed)
+        within = None if identity_maps else rng.permutation(arch.lane_size)
+        between = None if identity_maps else rng.permutation(arch.lane_count)
+        program_a = _small_program()
+        program_b = _small_program(width=3)
+        assignment = {0: program_a, 3: program_a, 7: program_b}
+
+        interpreted = ArrayState(arch.geometry)
+        replay_assignment(
+            arch, assignment, interpreted, within, between, repetitions,
+            method="interpreted",
+        )
+        compiled = ArrayState(arch.geometry)
+        replay_assignment(
+            arch, assignment, compiled, within, between, repetitions,
+            method="compiled",
+        )
+        assert np.array_equal(interpreted.write_counts, compiled.write_counts)
+        assert np.array_equal(interpreted.read_counts, compiled.read_counts)
+
+    def test_unknown_method_rejected(self):
+        arch = default_architecture(8, 8)
+        state = ArrayState(arch.geometry)
+        with pytest.raises(ValueError, match="method"):
+            replay_assignment(arch, {0: _small_program()}, state, method="jit")
+
+    def test_compiled_validates_footprint_and_maps(self):
+        arch = default_architecture(4, 4)
+        state = ArrayState(arch.geometry)
+        with pytest.raises(ValueError, match="needs"):
+            replay_assignment(
+                arch, {0: _small_program(width=4)}, state, method="compiled"
+            )
+        arch = default_architecture(8, 8)
+        state = ArrayState(arch.geometry)
+        with pytest.raises(ValueError, match="permutation"):
+            replay_assignment(
+                arch, {0: _small_program()}, state,
+                within_map=np.zeros(8, dtype=int), method="compiled",
+            )
+
+
+class TestLaneWeightBincount:
+    def test_bincount_equals_add_at_scatter(self):
+        # The micro-optimization accumulate_assignment relies on: lane
+        # membership is a 0/1 histogram, so bincount == np.add.at.
+        rng = np.random.default_rng(9)
+        lane_count = 64
+        between = rng.permutation(lane_count)
+        logical_lanes = rng.choice(lane_count, size=17, replace=False)
+        repetitions = 2.5
+        reference = np.zeros(lane_count)
+        np.add.at(reference, between[logical_lanes], repetitions)
+        bincounted = (
+            np.bincount(between[logical_lanes], minlength=lane_count).astype(
+                np.float64
+            )
+            * repetitions
+        )
+        assert np.array_equal(reference, bincounted)
+
+
 class TestAccumulateMatchesReplay:
     @given(
         seed=st.integers(0, 1000),

@@ -97,6 +97,17 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "switch fraction" in out
 
+    def test_switching_evaluators_agree(self, capsys):
+        argv = [
+            "--rows", "256", "--cols", "64",
+            "switching", "--bits", "6", "--samples", "8",
+        ]
+        main(argv + ["--evaluator", "compiled"])
+        compiled = capsys.readouterr().out
+        main(argv + ["--evaluator", "interpreted"])
+        interpreted = capsys.readouterr().out
+        assert compiled == interpreted
+
     def test_deployment(self, capsys):
         main([
             "--rows", "256", "--cols", "64",

@@ -115,6 +115,31 @@ class TestAccuracyReport:
                 fault_addresses=[0, 1],
             )
 
+    def test_unknown_evaluator_rejected(self, mult_program):
+        with pytest.raises(ValueError, match="evaluator"):
+            measure_fault_accuracy(
+                mult_program, lambda a, b: a * b, evaluator="magic"
+            )
+
+    @pytest.mark.parametrize("n_faults", [0, 1, 4])
+    def test_evaluators_produce_identical_reports(
+        self, mult_program, n_faults
+    ):
+        # Same seed, same RNG call order -> bit-identical statistics.
+        kwargs = dict(
+            reference=lambda a, b: a * b,
+            n_faults=n_faults,
+            samples=24,
+            rng=11,
+        )
+        compiled = measure_fault_accuracy(
+            mult_program, evaluator="compiled", **kwargs
+        )
+        interpreted = measure_fault_accuracy(
+            mult_program, evaluator="interpreted", **kwargs
+        )
+        assert compiled == interpreted
+
     def test_multi_output_requires_explicit_name(self):
         builder = LaneProgramBuilder(MINIMAL_LIBRARY)
         a = builder.input_vector("a", 1)

@@ -40,6 +40,15 @@ class TestValidation:
         with pytest.raises(ValueError, match="log_level"):
             SimulationSettings(log_level="loud")
 
+    def test_unknown_evaluator_rejected(self):
+        assert SimulationSettings().evaluator == "compiled"
+        assert (
+            SimulationSettings(evaluator="interpreted").evaluator
+            == "interpreted"
+        )
+        with pytest.raises(ValueError, match="evaluator"):
+            SimulationSettings(evaluator="magic")
+
     def test_chunk_size_not_validated_here(self):
         # chunk_size is validated where it is consumed (the kernel), so a
         # nonsensical value constructs fine and fails only at run().
@@ -178,6 +187,19 @@ class TestHashStability:
             ),
         )
         assert quiet.content_hash == loud.content_hash
+
+    def test_evaluator_never_reaches_the_hash(self, tiny_arch):
+        # Like kernel/chunk_size, the evaluator is a pure speed knob:
+        # results are bit-identical, so caches must not split on it.
+        workload = ParallelMultiplication(bits=8)
+        compiled = JobSpec.from_settings(
+            workload, tiny_arch, settings=SimulationSettings(seed=1)
+        )
+        interpreted = JobSpec.from_settings(
+            workload, tiny_arch,
+            settings=SimulationSettings(seed=1, evaluator="interpreted"),
+        )
+        assert compiled.content_hash == interpreted.content_hash
 
     def test_spec_settings_round_trip(self, tiny_arch):
         spec = JobSpec.from_settings(

@@ -83,3 +83,17 @@ class TestMultiplierSwitching:
         program = _copy_chain_program()
         with pytest.raises(ValueError):
             measure_switching(program, samples=0)
+        with pytest.raises(ValueError, match="evaluator"):
+            measure_switching(program, samples=1, evaluator="magic")
+
+    def test_evaluators_produce_identical_profiles(self):
+        program = ParallelMultiplication(bits=6).build_program(_small_arch())
+        compiled = measure_switching(
+            program, samples=40, rng=3, evaluator="compiled"
+        )
+        interpreted = measure_switching(
+            program, samples=40, rng=3, evaluator="interpreted"
+        )
+        assert np.array_equal(compiled.switches, interpreted.switches)
+        assert np.array_equal(compiled.writes, interpreted.writes)
+        assert compiled.samples == interpreted.samples

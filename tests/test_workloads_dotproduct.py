@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.gates.library import NAND_LIBRARY
-from repro.workloads.base import evaluate_networked
+from repro.workloads.base import evaluate_networked, evaluate_networked_batch
 from repro.workloads.dotproduct import DotProduct
 
 
@@ -54,6 +54,47 @@ class TestFunctionalCorrectness:
         }
         outputs, _ = evaluate_networked(programs, operands, order)
         assert outputs[0]["sum"] == int(np.dot(a, b))
+
+    @pytest.mark.parametrize("n,bits", [(2, 4), (8, 3)])
+    def test_batched_network_matches_scalar_per_draw(self, n, bits):
+        # The pool carries (N, width) readout matrices; draw d of the
+        # batch must equal what the scalar network computes from draw d.
+        workload = DotProduct(n_elements=n, bits=bits)
+        programs, order = workload.build_functional(NAND_LIBRARY)
+        rng = np.random.default_rng(7)
+        draws = 13
+        a = rng.integers(0, 2**bits, size=(draws, n))
+        b = rng.integers(0, 2**bits, size=(draws, n))
+        batch_outputs, batch_pool = evaluate_networked_batch(
+            programs,
+            {
+                lane: {
+                    "a": [int(v) for v in a[:, lane]],
+                    "b": [int(v) for v in b[:, lane]],
+                }
+                for lane in range(n)
+            },
+            order,
+        )
+        for draw in range(draws):
+            outputs, pool = evaluate_networked(
+                programs,
+                {
+                    lane: {"a": int(a[draw, lane]), "b": int(b[draw, lane])}
+                    for lane in range(n)
+                },
+                order,
+            )
+            assert int(batch_outputs[0]["sum"][draw]) == outputs[0]["sum"]
+            assert outputs[0]["sum"] == int(np.dot(a[draw], b[draw]))
+            for tag, bits_list in pool.items():
+                assert batch_pool[tag][draw].tolist() == list(bits_list)
+
+    def test_batched_network_requires_batch_size_source(self):
+        workload = DotProduct(n_elements=2, bits=2)
+        programs, order = workload.build_functional(NAND_LIBRARY)
+        with pytest.raises(ValueError, match="draws"):
+            evaluate_networked_batch(programs, {}, order)
 
     def test_all_zero_and_all_max(self):
         workload = DotProduct(n_elements=4, bits=3)
