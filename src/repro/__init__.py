@@ -61,6 +61,16 @@ from repro.workloads import (
     Workload,
 )
 from repro.telemetry import Telemetry, get_telemetry
+from repro.verify import (
+    Diagnostic,
+    Severity,
+    VerificationError,
+    VerifyReport,
+    verify_mapping,
+    verify_network,
+    verify_program,
+    verify_spec,
+)
 
 __version__ = "1.0.0"
 
@@ -115,4 +125,13 @@ __all__ = [
     # telemetry
     "Telemetry",
     "get_telemetry",
+    # verify
+    "Diagnostic",
+    "Severity",
+    "VerificationError",
+    "VerifyReport",
+    "verify_mapping",
+    "verify_network",
+    "verify_program",
+    "verify_spec",
 ]

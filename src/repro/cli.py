@@ -93,6 +93,13 @@ _WORKLOADS = {
 
 _LOG_LEVEL_CHOICES = ("debug", "info", "warning", "error", "critical")
 
+#: Built-in gate libraries the ``verify`` subcommand sweeps.
+_LIBRARY_NAMES = ("nand", "minimal", "nor", "maj")
+
+#: Balance configurations the ``verify`` subcommand samples by default:
+#: the static baseline, each software family, and the full stack.
+_VERIFY_CONFIGS = ("StxSt", "RaxRa", "BsxBs", "B1xB1", "BsxBs+Hw")
+
 
 def _make_workload(name: str):
     try:
@@ -397,6 +404,78 @@ def cmd_deployment(args) -> None:
         f"{summary.horizon_days:.1f} d")
 
 
+def cmd_verify(args) -> int:
+    """Statically verify built-in workloads across gate libraries.
+
+    Sweeps workload x library x balance-config combinations through
+    :func:`repro.verify.verify_mapping` without running a single epoch,
+    merges every report, and exits with the merged report's code
+    (0 clean / 1 errors / 2 warnings only) — the CI smoke contract.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.gates.library import library_by_name
+    from repro.verify import (
+        Diagnostic,
+        Location,
+        Severity,
+        VerifyReport,
+        verify_mapping,
+    )
+
+    workloads = sorted(_WORKLOADS) if args.workload == "all" else [args.workload]
+    libraries = _LIBRARY_NAMES if args.library == "all" else (args.library,)
+    configs = [BalanceConfig.from_label(label) for label in args.configs]
+    base = default_architecture(args.rows, args.cols)
+    report = VerifyReport()
+    checked = skipped = 0
+    for workload_name in workloads:
+        for library_name in libraries:
+            architecture = dc_replace(
+                base, library=library_by_name(library_name)
+            )
+            try:
+                mapping = _make_workload(workload_name).build(architecture)
+            except ValueError as exc:
+                # Some pairings cannot synthesize (e.g. XNOR on a NOR-only
+                # library); that is a library property, not a diagnostic.
+                skipped += 1
+                if not args.json:
+                    say(f"skip {workload_name} x {library_name}: {exc}")
+                continue
+            except MemoryError as exc:
+                # Lane capacity exhausted: the workload does not fit this
+                # geometry at all — that IS a bounds finding, reported
+                # through the same RPR003 channel the static pass uses.
+                report = report.merged(VerifyReport([
+                    Diagnostic(
+                        "RPR003",
+                        Severity.ERROR,
+                        f"workload cannot be built on this geometry: {exc}",
+                        Location(place=(
+                            f"workload {workload_name!r} x library "
+                            f"{library_name!r}"
+                        )),
+                        hint="use a larger array (--rows) or a smaller "
+                        "workload",
+                    )
+                ]))
+                checked += 1
+                continue
+            for config in configs:
+                report = report.merged(
+                    verify_mapping(mapping, config, functional=args.functional)
+                )
+                checked += 1
+    if args.json:
+        say(report.render_json())
+    else:
+        tail = f", {skipped} skipped (unsynthesizable)" if skipped else ""
+        say(f"checked {checked} workload x library x config combinations{tail}")
+        say(report.render_text())
+    return report.exit_code
+
+
 def cmd_stats(args) -> None:
     """Summarize a JSONL telemetry trace (validates the schema)."""
     try:
@@ -536,6 +615,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sim_flags(p)
     p.set_defaults(func=cmd_remap_sweep)
 
+    p = sub.add_parser(
+        "verify",
+        help="statically check workloads/configs without simulating",
+    )
+    p.add_argument(
+        "--workload", default="all",
+        choices=["all", *sorted(_WORKLOADS)],
+        help="workload to check (default: all built-ins)",
+    )
+    p.add_argument(
+        "--library", default="all",
+        choices=["all", *_LIBRARY_NAMES],
+        help="gate library to check (default: all built-ins)",
+    )
+    p.add_argument(
+        "--config", dest="configs", metavar="LABEL", nargs="+",
+        default=list(_VERIFY_CONFIGS),
+        help="balance configuration labels to check "
+             f"(default: {' '.join(_VERIFY_CONFIGS)})",
+    )
+    p.add_argument(
+        "--functional", action="store_true", default=False,
+        help="treat functional findings (uninitialized reads, dead "
+             "writes, tag coverage) as errors, not warnings",
+    )
+    p.add_argument(
+        "--json", action="store_true", default=False,
+        help="emit the merged report as JSON",
+    )
+    p.set_defaults(func=cmd_verify)
+
     p = sub.add_parser("stats", help="summarize a JSONL telemetry trace")
     p.add_argument("trace_file", help="trace produced with --trace FILE")
     p.set_defaults(func=cmd_stats)
@@ -565,13 +675,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     sinks = _configure_telemetry(args)
     tele = get_telemetry()
     try:
-        args.func(args)
+        status = args.func(args)
     finally:
         for sink in sinks:
             if sink in tele.sinks:
                 tele.sinks.remove(sink)
             sink.close()
-    return 0
+    return int(status or 0)
 
 
 if __name__ == "__main__":

@@ -22,7 +22,7 @@ from repro.array.architecture import PIMArchitecture
 from repro.balance.config import BalanceConfig
 from repro.core.lifetime import LifetimeEstimate, lifetime_from_result
 from repro.core.simulator import EnduranceSimulator, SimulationResult
-from repro.workloads.base import Workload, WorkloadMapping
+from repro.workloads.base import Phase, Workload, WorkloadMapping
 from repro.workloads.dotproduct import DotProduct
 
 
@@ -65,12 +65,26 @@ class _ArraySliceWorkload(Workload):
         )
         assignment = dict(base_mapping.assignment)
         assignment[0] = root
+        # The extended root does real work inside this array (receive
+        # writes, final additions, partial-sum send), so the schedule
+        # must carry it: lane 0 gets one extra serial phase covering
+        # exactly the operations the role extension added. Only the
+        # inter-array wire latency stays a cluster-level concern.
+        slots = architecture.writes_per_gate
+
+        def lane_ops(program) -> int:
+            gates = program.gate_count
+            return program.sequential_ops - gates + gates * slots
+
+        extra = lane_ops(root) - lane_ops(base_mapping.assignment[0])
+        phases = list(base_mapping.phases)
+        if extra > 0:
+            phases.append(Phase("inter-array", extra, 1))
         return WorkloadMapping(
             workload_name=self.name,
             architecture=architecture,
             assignment=assignment,
-            phases=base_mapping.phases,  # per-array schedule; inter-array
-            # transfer latency is accounted at the cluster level
+            phases=phases,
         )
 
     def describe(self) -> str:

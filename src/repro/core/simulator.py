@@ -39,6 +39,7 @@ from repro.core.kernel import make_epoch_maps, run_batched_epochs
 from repro.core.settings import SimulationSettings
 from repro.core.writedist import WriteDistribution
 from repro.telemetry import get_telemetry
+from repro.verify import VerificationError, verify_mapping
 from repro.workloads.base import Workload, WorkloadMapping
 
 
@@ -136,6 +137,7 @@ class EnduranceSimulator:
         )
         self.architecture = architecture
         self._mapping_cache: Dict[str, WorkloadMapping] = {}
+        self._verified: set = set()
 
     # -- settings convenience views ------------------------------------
 
@@ -199,6 +201,7 @@ class EnduranceSimulator:
         tele = get_telemetry()
         start = time.perf_counter()
         mapping = self._mapping_for(workload)
+        self._verify(mapping, config)
         architecture = self.architecture
         state = ArrayState(architecture.geometry)
         rng = np.random.default_rng(effective.seed)
@@ -341,6 +344,28 @@ class EnduranceSimulator:
                     track_reads=track_reads,
                 )
         return epochs
+
+    def _verify(self, mapping: WorkloadMapping, config: BalanceConfig) -> None:
+        """Statically check the mapping/config pair before simulating.
+
+        Runs :func:`repro.verify.verify_mapping` in wear-only mode (value
+        semantics are warnings — a wear simulation never executes gate
+        values) and rejects the run on any error. Memoized per
+        (mapping, config-label) pair, so repeated runs pay nothing.
+
+        Raises:
+            VerificationError: if the static checks report errors.
+        """
+        key = (id(mapping), config.label)
+        if key in self._verified:
+            return
+        with get_telemetry().timed_phase(
+            "verify", workload=mapping.workload_name
+        ):
+            report = verify_mapping(mapping, config, functional=False)
+        if report.errors:
+            raise VerificationError(report)
+        self._verified.add(key)
 
     def _mapping_for(self, workload: Workload) -> WorkloadMapping:
         # Keyed by the full parameter signature, not the display name: two

@@ -31,6 +31,7 @@ from repro.engine.hooks import BatchMetrics, EngineHooks
 from repro.engine.spec import JobSpec
 from repro.engine.store import ResultStore
 from repro.telemetry import get_telemetry
+from repro.verify import verify_spec
 
 
 class JobStatus(Enum):
@@ -150,6 +151,9 @@ class ExperimentEngine:
             job is cancelled if it has not started; a running job's
             result is abandoned. Timeouts consume retries.
         hooks: Progress/metrics callbacks.
+        verify: Statically check each spec (:func:`repro.verify.verify_spec`)
+            before dispatch; specs with verification errors fail fast
+            with the rendered report instead of being simulated.
     """
 
     def __init__(
@@ -160,6 +164,7 @@ class ExperimentEngine:
         backoff_s: float = 0.5,
         timeout_s: Optional[float] = None,
         hooks: Optional[EngineHooks] = None,
+        verify: bool = True,
     ) -> None:
         if jobs < 0:
             raise ValueError("jobs must be non-negative")
@@ -171,6 +176,7 @@ class ExperimentEngine:
         self.backoff_s = backoff_s
         self.timeout_s = timeout_s
         self.hooks = hooks or EngineHooks()
+        self.verify = verify
 
     # -- public API -----------------------------------------------------
 
@@ -221,6 +227,9 @@ class ExperimentEngine:
         for index in outcomes:
             self._job_end(outcomes[index])
 
+        if self.verify:
+            to_run = self._verify_specs(specs, to_run, outcomes, metrics)
+
         if to_run:
             if self.jobs <= 1:
                 self._run_serial(specs, to_run, outcomes, metrics)
@@ -250,6 +259,50 @@ class ExperimentEngine:
                 attempts=0,
             )
         return [outcomes[index] for index in range(len(specs))]
+
+    # -- pre-dispatch verification --------------------------------------
+
+    def _verify_specs(
+        self,
+        specs: Sequence[JobSpec],
+        to_run: Sequence[int],
+        outcomes: Dict[int, JobOutcome],
+        metrics: BatchMetrics,
+    ) -> List[int]:
+        """Reject specs whose static checks report errors, before dispatch.
+
+        A spec whose workload cannot even *build* is not rejected here:
+        it falls through to normal execution so the failure carries the
+        original traceback (which retries, hooks, and telemetry then see
+        exactly as before).
+        """
+        tele = get_telemetry()
+        survivors: List[int] = []
+        for index in to_run:
+            spec = specs[index]
+            try:
+                report = verify_spec(spec)
+            except Exception:
+                survivors.append(index)
+                continue
+            if not report.errors:
+                survivors.append(index)
+                continue
+            tele.count("engine.rejected")
+            tele.emit(
+                "job_rejected",
+                label=spec.label,
+                errors=len(report.errors),
+                codes=sorted({d.code for d in report.errors}),
+            )
+            outcomes[index] = JobOutcome(
+                spec=spec,
+                status=JobStatus.FAILED,
+                error="verification failed:\n" + report.render_text(),
+            )
+            metrics.failed += 1
+            self._job_end(outcomes[index])
+        return survivors
 
     # -- shared life-cycle reporting ------------------------------------
 

@@ -26,7 +26,11 @@ from repro.workloads.base import Workload
 #: v2: random shuffling (``Ra``) draws argsorted uniform blocks (the
 #: batched epoch kernel's convention) instead of ``rng.permutation``, so
 #: v1 results with a random strategy are not reproducible anymore.
-SPEC_VERSION = 2
+#:
+#: v3: ``compare_ge`` synthesizes carry-only adders instead of full
+#: adders whose sum bits were dead writes, shrinking the comparator's
+#: gate count — convolution/BNN wear profiles differ from v2.
+SPEC_VERSION = 3
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,9 @@ class GateLibrary:
         native_ops: Opcodes the architecture executes in one step.
         full_adder_gates: Gates per full adder under this library.
         half_adder_gates: Gates per half adder under this library.
+        carry_adder_gates: Gates per carry-only full adder (majority of
+            three bits, no sum output) — what the comparator's borrow
+            chain costs once the discarded sum gates are elided.
         and_gate_cost: Gates per two-input AND (1 when native; a NOR-only
             fabric pays 3: two NOTs plus a NOR).
         has_native_copy: Whether COPY is a single gate; otherwise two NOTs.
@@ -47,6 +50,7 @@ class GateLibrary:
     native_ops: FrozenSet[GateOp]
     full_adder_gates: int
     half_adder_gates: int
+    carry_adder_gates: int
     and_gate_cost: int
     has_native_copy: bool
 
@@ -100,6 +104,7 @@ NAND_LIBRARY = GateLibrary(
     native_ops=frozenset({GateOp.NAND, GateOp.NOT, GateOp.AND}),
     full_adder_gates=9,
     half_adder_gates=5,
+    carry_adder_gates=6,
     and_gate_cost=1,
     has_native_copy=False,
 )
@@ -122,6 +127,7 @@ MINIMAL_LIBRARY = GateLibrary(
     ),
     full_adder_gates=5,
     half_adder_gates=2,
+    carry_adder_gates=4,
     and_gate_cost=1,
     has_native_copy=True,
 )
@@ -133,6 +139,7 @@ NOR_LIBRARY = GateLibrary(
     native_ops=frozenset({GateOp.NOR, GateOp.NOT}),
     full_adder_gates=9,
     half_adder_gates=5,
+    carry_adder_gates=6,
     and_gate_cost=3,
     has_native_copy=False,
 )
@@ -148,6 +155,7 @@ MAJ_LIBRARY = GateLibrary(
     native_ops=frozenset({GateOp.MAJ, GateOp.NOT}),
     full_adder_gates=4,
     half_adder_gates=4,
+    carry_adder_gates=1,
     and_gate_cost=1,
     has_native_copy=False,
 )

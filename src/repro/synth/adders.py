@@ -52,6 +52,30 @@ def full_adder(
     )
 
 
+def carry_adder(builder: LaneProgramBuilder, a: int, b: int, cin: int) -> int:
+    """Carry-only full adder: returns the carry-out address, no sum.
+
+    The comparator's borrow chain only needs MAJ(a, b, cin); synthesizing
+    a full adder and discarding the sum wastes gates *and* leaves dead
+    writes behind (cells written, never read — exactly what the static
+    checker's RPR002 pass flags). Costs per library: 1 gate (MAJ),
+    4 (minimal), 6 (NAND), 6 (NOR) versus the full adder's 4/5/9/9.
+    Input bits are *not* freed (the caller owns them).
+    """
+    library = builder.library
+    if library.supports(GateOp.MAJ):
+        return builder.gate(GateOp.MAJ, a, b, cin)
+    if library.supports(GateOp.XOR):
+        return _carry_adder_minimal(builder, a, b, cin)
+    if library.supports(GateOp.NAND):
+        return _carry_adder_nand(builder, a, b, cin)
+    if library.supports(GateOp.NOR):
+        return _carry_adder_nor(builder, a, b, cin)
+    raise ValueError(
+        f"library {library.name!r} cannot synthesize a carry adder"
+    )
+
+
 def half_adder(builder: LaneProgramBuilder, a: int, b: int) -> Tuple[int, int]:
     """Add two bits; returns ``(sum, carry_out)`` logical addresses."""
     library = builder.library
@@ -134,6 +158,23 @@ def _full_adder_nand(
     return s, cout
 
 
+def _carry_adder_nand(
+    builder: LaneProgramBuilder, a: int, b: int, cin: int
+) -> int:
+    """6 NANDs: Fig. 2's carry path alone (XOR block plus carry NAND)."""
+    nand = lambda x, y: builder.gate(GateOp.NAND, x, y)  # noqa: E731
+    n1 = nand(a, b)
+    n2 = nand(a, n1)
+    n3 = nand(b, n1)
+    x1 = nand(n2, n3)  # a XOR b
+    builder.free_many((n2, n3))
+    n4 = nand(x1, cin)
+    builder.free(x1)
+    cout = nand(n1, n4)  # majority(a, b, cin)
+    builder.free_many((n1, n4))
+    return cout
+
+
 def _half_adder_nand(
     builder: LaneProgramBuilder, a: int, b: int
 ) -> Tuple[int, int]:
@@ -164,6 +205,18 @@ def _full_adder_minimal(
     cout = builder.gate(GateOp.OR, a1, a2)
     builder.free_many((x1, a1, a2))
     return s, cout
+
+
+def _carry_adder_minimal(
+    builder: LaneProgramBuilder, a: int, b: int, cin: int
+) -> int:
+    """4 two-input gates: the full adder's carry tree, sum XOR elided."""
+    x1 = builder.gate(GateOp.XOR, a, b)
+    a1 = builder.gate(GateOp.AND, a, b)
+    a2 = builder.gate(GateOp.AND, x1, cin)
+    cout = builder.gate(GateOp.OR, a1, a2)
+    builder.free_many((x1, a1, a2))
+    return cout
 
 
 def _half_adder_minimal(
@@ -234,6 +287,23 @@ def _full_adder_nor(
     cout = nor(n1, n4)  # (a|b) & (XNOR(a,b)|cin) == majority
     builder.free_many((n1, n4))
     return s, cout
+
+
+def _carry_adder_nor(
+    builder: LaneProgramBuilder, a: int, b: int, cin: int
+) -> int:
+    """6 NORs: the De Morgan dual of the 6-NAND carry chain."""
+    nor = lambda x, y: builder.gate(GateOp.NOR, x, y)  # noqa: E731
+    n1 = nor(a, b)
+    n2 = nor(a, n1)
+    n3 = nor(b, n1)
+    x1 = nor(n2, n3)  # XNOR(a, b)
+    builder.free_many((n2, n3))
+    n4 = nor(x1, cin)
+    builder.free(x1)
+    cout = nor(n1, n4)  # majority(a, b, cin)
+    builder.free_many((n1, n4))
+    return cout
 
 
 def _half_adder_nor(

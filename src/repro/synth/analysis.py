@@ -65,7 +65,7 @@ class OperationCounts:
 @lru_cache(maxsize=None)
 def _probe_costs(library: GateLibrary) -> "dict[str, OperationCounts]":
     """Measure FA/HA/AND costs by synthesizing them with ``library``."""
-    from repro.synth.adders import full_adder, half_adder
+    from repro.synth.adders import carry_adder, full_adder, half_adder
 
     costs = {}
 
@@ -90,8 +90,31 @@ def _probe_costs(library: GateLibrary) -> "dict[str, OperationCounts]":
 
     costs["full_adder"] = measure(lambda bld, a, b, c: full_adder(bld, a, b, c))
     costs["half_adder"] = measure(lambda bld, a, b, c: half_adder(bld, a, b))
+    costs["carry_adder"] = measure(
+        lambda bld, a, b, c: carry_adder(bld, a, b, c)
+    )
     costs["and"] = measure(lambda bld, a, b, c: bld.and_bit(a, b))
     return costs
+
+
+@lru_cache(maxsize=None)
+def shared_const_writes(library: GateLibrary) -> int:
+    """Writes to shared constant cells, paid once per *program*.
+
+    Majority fabrics tie one gate input to a constant-zero cell that is
+    written once and then only read; other libraries pay nothing. The
+    primitive probes above exclude it, so schedules must add it back
+    per program (RPR008 catches the omission). Measured, like the
+    primitive costs, by synthesizing a half adder and counting its
+    explicit write instructions — the probe preallocates its inputs, so
+    any write left is a constant seed.
+    """
+    from repro.synth.adders import half_adder
+
+    builder = LaneProgramBuilder(library)
+    a, b = builder.allocator.alloc(), builder.allocator.alloc()
+    half_adder(builder, a, b)
+    return builder.finish().load_ops
 
 
 def full_adder_counts(library: GateLibrary) -> OperationCounts:
@@ -102,6 +125,11 @@ def full_adder_counts(library: GateLibrary) -> OperationCounts:
 def half_adder_counts(library: GateLibrary) -> OperationCounts:
     """Measured cost of one half adder under ``library``."""
     return _probe_costs(library)["half_adder"]
+
+
+def carry_adder_counts(library: GateLibrary) -> OperationCounts:
+    """Measured cost of one carry-only full adder under ``library``."""
+    return _probe_costs(library)["carry_adder"]
 
 
 def and_gate_counts(library: GateLibrary) -> OperationCounts:

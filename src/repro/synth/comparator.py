@@ -7,12 +7,14 @@ bit output" [Resch 2019].
 
 We implement ``A >= B`` as the carry-out of ``A + ~B + 1`` (two's
 complement subtraction): ``width`` NOT gates, one constant-seed write, and
-``width`` full adders whose sum bits are discarded immediately.
+``width`` carry-only adders. Only the borrow chain is materialized — a
+full adder per bit would also write ``width`` sum cells that nothing ever
+reads, which the static checker flags as dead writes (RPR002).
 """
 
 from __future__ import annotations
 
-from repro.synth.adders import full_adder
+from repro.synth.adders import carry_adder
 from repro.synth.bits import BitVector
 from repro.synth.program import LaneProgramBuilder
 
@@ -45,8 +47,8 @@ def compare_ge(
         nb = builder.not_bit(b[i])
         if free_inputs:
             builder.free(b[i])
-        s, carry_next = full_adder(builder, a[i], nb, carry)
-        builder.free_many((s, nb, carry))
+        carry_next = carry_adder(builder, a[i], nb, carry)
+        builder.free_many((nb, carry))
         if free_inputs:
             builder.free(a[i])
         carry = carry_next

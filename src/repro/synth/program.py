@@ -32,6 +32,10 @@ class OperandBit:
     name: str
     index: int
 
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("negative operand bit index")
+
 
 @dataclass(frozen=True)
 class ExternalBit:
@@ -40,6 +44,10 @@ class ExternalBit:
 
     tag: str
     index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("negative external stream index")
 
 
 @dataclass(frozen=True)
@@ -83,6 +91,8 @@ class ReadInstr:
     def __post_init__(self) -> None:
         if self.address < 0:
             raise ValueError("negative bit address")
+        if self.index < 0:
+            raise ValueError("negative read-out stream index")
 
 
 Instruction = Union[WriteInstr, ReadInstr, Gate]
@@ -126,6 +136,31 @@ class LaneProgram:
                         f"instruction {instr} addresses bit {address} outside "
                         f"footprint {self.footprint}"
                     )
+            # Operand-sourced writes must reference a declared operand and
+            # stay inside its width — otherwise the mistake only surfaces
+            # as a KeyError/IndexError deep inside the executor.
+            if isinstance(instr, WriteInstr) and isinstance(
+                instr.source, OperandBit
+            ):
+                declared = self.inputs.get(instr.source.name)
+                if declared is None:
+                    raise ValueError(
+                        f"instruction {instr} reads undeclared operand "
+                        f"{instr.source.name!r}"
+                    )
+                if instr.source.index >= len(declared):
+                    raise ValueError(
+                        f"instruction {instr} reads bit {instr.source.index} "
+                        f"of operand {instr.source.name!r}, which is only "
+                        f"{len(declared)} bits wide"
+                    )
+        for name, addresses in {**self.inputs, **self.outputs}.items():
+            for address in addresses:
+                if not 0 <= address < self.footprint:
+                    raise ValueError(
+                        f"declared vector {name!r} uses bit {address} outside "
+                        f"footprint {self.footprint}"
+                    )
 
     @staticmethod
     def _addresses_of(instr: Instruction) -> Tuple[int, ...]:
@@ -145,6 +180,21 @@ class LaneProgram:
     def gate_count(self) -> int:
         """Number of logic gates."""
         return sum(1 for i in self.instructions if isinstance(i, Gate))
+
+    @property
+    def load_ops(self) -> int:
+        """Number of explicit write instructions (operand/const loads).
+
+        Schedules must count these rather than assume ``2 * bits``:
+        majority-library synthesis writes shared constant cells that a
+        closed-form operand count misses (caught by RPR008).
+        """
+        return sum(1 for i in self.instructions if isinstance(i, WriteInstr))
+
+    @property
+    def readout_ops(self) -> int:
+        """Number of read-out instructions."""
+        return sum(1 for i in self.instructions if isinstance(i, ReadInstr))
 
     @property
     def sequential_ops(self) -> int:

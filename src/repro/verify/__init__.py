@@ -1,0 +1,60 @@
+"""repro.verify — static analysis for programs, mappings, and job specs.
+
+Checks programs and configurations without executing them: an IR
+dataflow pass over the lane-program instruction stream, a hazard pass
+over the compiled gate levels, and a wear-invariant pass over profiles,
+permutations, and schedules. Findings carry stable ``RPR0xx`` codes and
+render as text or JSON; the ``repro-endurance verify`` CLI subcommand
+and the simulator/engine pre-dispatch hooks are built on these entry
+points.
+"""
+
+from repro.verify.api import (
+    FUNCTIONAL_CODES,
+    VerificationError,
+    verify_mapping,
+    verify_network,
+    verify_program,
+    verify_spec,
+)
+from repro.verify.dataflow import (
+    check_bounds,
+    check_dataflow,
+    check_level_segments,
+    check_levels,
+)
+from repro.verify.diagnostics import (
+    CODES,
+    Diagnostic,
+    Location,
+    Severity,
+    VerifyReport,
+)
+from repro.verify.wear import (
+    check_config,
+    check_permutation_rows,
+    check_profile_conservation,
+    check_schedule,
+)
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "FUNCTIONAL_CODES",
+    "Location",
+    "Severity",
+    "VerificationError",
+    "VerifyReport",
+    "check_bounds",
+    "check_config",
+    "check_dataflow",
+    "check_level_segments",
+    "check_levels",
+    "check_permutation_rows",
+    "check_profile_conservation",
+    "check_schedule",
+    "verify_mapping",
+    "verify_network",
+    "verify_program",
+    "verify_spec",
+]

@@ -1,0 +1,276 @@
+"""High-level entry points composing the static-analysis passes.
+
+Callers pick the surface that matches what they hold:
+
+* :func:`verify_program` — one :class:`LaneProgram`;
+* :func:`verify_mapping` — a built :class:`WorkloadMapping` (plus,
+  optionally, the balance configuration it will run under);
+* :func:`verify_network` — interconnected programs exchanging tagged
+  read-out streams;
+* :func:`verify_spec` — a declarative engine :class:`JobSpec`, checked
+  before any simulation is dispatched.
+
+``functional=False`` relaxes the value-semantics codes (RPR001, RPR002,
+RPR004) to warnings: wear simulations never execute gate values, so a
+wear-view canonical program with placeholder transfer tags is legal
+there even though it could not be *evaluated*. Structural codes (bounds,
+hazards, conservation, permutations, schedules) stay errors — they
+corrupt wear accounting no matter the execution mode.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.synth.program import ExternalBit, LaneProgram, ReadInstr, WriteInstr
+from repro.telemetry import get_telemetry
+from repro.verify.dataflow import check_bounds, check_dataflow, check_levels
+from repro.verify.diagnostics import (
+    Diagnostic,
+    Location,
+    Severity,
+    VerifyReport,
+)
+from repro.verify.wear import (
+    check_config,
+    check_profile_conservation,
+    check_schedule,
+)
+
+__all__ = [
+    "VerificationError",
+    "verify_program",
+    "verify_mapping",
+    "verify_network",
+    "verify_spec",
+]
+
+#: Codes that assert value semantics rather than wear accounting.
+FUNCTIONAL_CODES = frozenset({"RPR001", "RPR002", "RPR004"})
+
+
+class VerificationError(ValueError):
+    """A verification run found errors and the caller demanded none.
+
+    Attributes:
+        report: The full :class:`VerifyReport`, for inspection.
+    """
+
+    def __init__(self, report: VerifyReport) -> None:
+        self.report = report
+        super().__init__(report.render_text())
+
+
+def _relax_functional(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Downgrade value-semantics findings to warnings (wear-only mode)."""
+    relaxed = []
+    for diagnostic in diagnostics:
+        if (
+            diagnostic.code in FUNCTIONAL_CODES
+            and diagnostic.severity is Severity.ERROR
+        ):
+            diagnostic = Diagnostic(
+                diagnostic.code,
+                Severity.WARNING,
+                diagnostic.message,
+                diagnostic.location,
+                diagnostic.hint,
+            )
+        relaxed.append(diagnostic)
+    return relaxed
+
+
+def _finish(diagnostics: List[Diagnostic]) -> VerifyReport:
+    """Wrap findings in a report and count them in telemetry."""
+    report = VerifyReport(diagnostics)
+    tele = get_telemetry()
+    tele.count("verify.runs")
+    if len(report):
+        tele.count("verify.diagnostics", len(report))
+    if report.errors:
+        tele.count("verify.errors", len(report.errors))
+    return report
+
+
+def _check_program(
+    program: LaneProgram,
+    lane_size: Optional[int],
+    writes_per_gate: int,
+    spare_bit: bool,
+) -> List[Diagnostic]:
+    diagnostics = list(check_dataflow(program))
+    if lane_size is not None:
+        diagnostics.extend(check_bounds(program, lane_size, spare_bit))
+    diagnostics.extend(check_levels(program))
+    diagnostics.extend(
+        check_profile_conservation(program, writes_per_gate, lane_size)
+    )
+    return diagnostics
+
+
+def verify_program(
+    program: LaneProgram,
+    lane_size: Optional[int] = None,
+    writes_per_gate: int = 1,
+    spare_bit: bool = False,
+) -> VerifyReport:
+    """Statically check one lane program.
+
+    Runs the dataflow pass (RPR001/002/004), the bounds pass when a
+    ``lane_size`` is given (RPR003/009), the compiled-level hazard pass
+    (RPR005), and profile conservation (RPR006).
+    """
+    return _finish(
+        _check_program(program, lane_size, writes_per_gate, spare_bit)
+    )
+
+
+def verify_mapping(
+    mapping,
+    config=None,
+    functional: bool = True,
+) -> VerifyReport:
+    """Statically check a built workload mapping.
+
+    Args:
+        mapping: A :class:`~repro.workloads.base.WorkloadMapping`.
+        config: Optional :class:`~repro.balance.config.BalanceConfig`;
+            when given, its permutation streams are validated (RPR007/
+            010) and hardware re-mapping's spare-bit requirement is
+            enforced (RPR009).
+        functional: When False, the value-semantics codes (RPR001/002/
+            004) are reported as warnings — a wear-only simulation never
+            executes gate values.
+    """
+    architecture = mapping.architecture
+    lane_size = architecture.lane_size
+    writes_per_gate = architecture.writes_per_gate
+    spare_bit = bool(config.hardware) if config is not None else False
+    diagnostics: List[Diagnostic] = []
+    for program in mapping.distinct_programs():
+        diagnostics.extend(
+            _check_program(program, lane_size, writes_per_gate, spare_bit)
+        )
+    if not functional:
+        diagnostics = _relax_functional(diagnostics)
+    diagnostics.extend(check_schedule(mapping))
+    if config is not None:
+        lane_loads = np.zeros(architecture.lane_count)
+        include = architecture.presets_output
+        for lane, program in mapping.assignment.items():
+            lane_loads[lane] = program.write_counts(
+                include_presets=include
+            ).sum()
+        diagnostics.extend(
+            check_config(
+                config,
+                lane_size,
+                architecture.lane_count,
+                lane_loads=lane_loads,
+            )
+        )
+    return _finish(diagnostics)
+
+
+def verify_network(
+    programs: Mapping[int, LaneProgram],
+    order: Sequence[int],
+    externals: Sequence[str] = (),
+) -> VerifyReport:
+    """Statically check interconnected programs (tagged stream wiring).
+
+    Proves that :func:`~repro.workloads.base.evaluate_networked` over
+    ``order`` cannot fail on the wiring: every consumed transfer tag is
+    produced by an earlier lane (or pre-seeded via ``externals``), the
+    producer's stream is wide enough for every consumer, and no two
+    lanes produce the same tag. A produced-but-unconsumed tag is *not*
+    flagged — the network's final result leaves through exactly such a
+    tag.
+    """
+    diagnostics: List[Diagnostic] = []
+    if set(order) != set(programs):
+        diagnostics.append(
+            Diagnostic(
+                "RPR004",
+                Severity.ERROR,
+                "evaluation order must cover exactly the mapped lanes",
+                Location(place=f"order {list(order)!r}"),
+                hint="every lane appears once; no extras",
+            )
+        )
+        return _finish(diagnostics)
+    for lane in order:
+        diagnostics.extend(check_dataflow(programs[lane]))
+    produced = {tag: -1 for tag in externals}  # tag -> width (-1: unknown)
+    for lane in order:
+        program = programs[lane]
+        for index, instr in enumerate(program.instructions):
+            if isinstance(instr, WriteInstr) and isinstance(
+                instr.source, ExternalBit
+            ):
+                tag = instr.source.tag
+                if tag not in produced:
+                    diagnostics.append(
+                        Diagnostic(
+                            "RPR004",
+                            Severity.ERROR,
+                            f"lane {lane} consumes transfer tag {tag!r}, "
+                            "which no earlier lane produces",
+                            Location(program.name, index, place=f"lane {lane}"),
+                            hint="senders must precede their receivers in "
+                            "the evaluation order",
+                        )
+                    )
+                    produced[tag] = -1  # report once per tag
+                elif 0 <= produced[tag] <= instr.source.index:
+                    diagnostics.append(
+                        Diagnostic(
+                            "RPR004",
+                            Severity.ERROR,
+                            f"lane {lane} reads slot {instr.source.index} of "
+                            f"transfer tag {tag!r}, which carries only "
+                            f"{produced[tag]} bit(s)",
+                            Location(program.name, index, place=f"lane {lane}"),
+                            hint="widen the producer's tagged read-out or "
+                            "narrow the consumer",
+                        )
+                    )
+        tags_here = {}
+        for instr in program.instructions:
+            if isinstance(instr, ReadInstr) and instr.tag is not None:
+                tags_here[instr.tag] = (
+                    max(tags_here.get(instr.tag, -1), instr.index)
+                )
+        for tag, top in tags_here.items():
+            if tag in produced and produced[tag] != -1:
+                diagnostics.append(
+                    Diagnostic(
+                        "RPR004",
+                        Severity.ERROR,
+                        f"transfer tag {tag!r} is produced by more than one "
+                        f"lane (duplicate at lane {lane})",
+                        Location(program.name, place=f"lane {lane}"),
+                        hint="tags name point-to-point streams; make them "
+                        "unique per sender",
+                    )
+                )
+            else:
+                produced[tag] = top + 1
+    return _finish(diagnostics)
+
+
+def verify_spec(spec) -> VerifyReport:
+    """Statically check a declarative engine job before dispatch.
+
+    Duck-typed over anything exposing ``workload``, ``architecture``,
+    and (optionally) ``config`` — in practice a
+    :class:`~repro.engine.spec.JobSpec`. Builds the workload mapping
+    and runs :func:`verify_mapping` in wear-only mode, since the engine
+    simulates wear rather than values.
+    """
+    mapping = spec.workload.build(spec.architecture)
+    return verify_mapping(
+        mapping, getattr(spec, "config", None), functional=False
+    )

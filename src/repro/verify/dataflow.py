@@ -1,0 +1,247 @@
+"""IR dataflow checks over :class:`~repro.synth.program.LaneProgram`.
+
+One linear pass over the instruction stream proves, without executing a
+single gate:
+
+* **RPR001** — every read (gate input, ``ReadInstr``) sees a cell some
+  earlier instruction wrote;
+* **RPR002** — no write is dead: neither overwritten before any read
+  (write-after-write) nor left unread at program end without being a
+  declared output. Scratch/preset writes (``source=None``) are exempt —
+  their value never matters by construction;
+* **RPR003** — the program's footprint fits the lane it must run in;
+* **RPR004** — declared outputs are computed, and every tagged read-out
+  stream is dense (no gaps, no duplicate slots) so networked consumers
+  never silently read zero-filled padding;
+* **RPR005** — the compiled SoA form's fused gate levels are race-free
+  *by construction*: within a level, gate outputs are pairwise distinct
+  and no gate reads what another gate in the level writes. This re-proves
+  the hazard property :mod:`repro.synth.compiled` relies on, instead of
+  trusting the compiler that enforced it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.gates.gate import Gate
+from repro.synth.program import LaneProgram, ReadInstr, WriteInstr
+from repro.verify.diagnostics import Diagnostic, Location, Severity
+
+__all__ = [
+    "check_dataflow",
+    "check_bounds",
+    "check_levels",
+    "check_level_segments",
+]
+
+
+def check_dataflow(program: LaneProgram) -> List[Diagnostic]:
+    """RPR001/RPR002/RPR004 over one program's instruction stream."""
+    diagnostics: List[Diagnostic] = []
+    initialized: Set[int] = set()
+    # address -> (instruction index, counts-for-dead-write) of the last
+    # write that no later instruction has read yet.
+    unread: Dict[int, Tuple[int, bool]] = {}
+    output_addresses = {
+        address
+        for addresses in program.outputs.values()
+        for address in addresses
+    }
+    streams: Dict[str, Dict[int, int]] = {}
+
+    def note_read(address: int, index: int) -> None:
+        if address not in initialized:
+            diagnostics.append(
+                Diagnostic(
+                    "RPR001",
+                    Severity.ERROR,
+                    f"read of uninitialized cell {address}",
+                    Location(program.name, index, address),
+                    hint="write the cell (operand load, const, or gate) "
+                    "before reading it",
+                )
+            )
+            initialized.add(address)  # report each cell once
+        unread.pop(address, None)
+
+    def note_write(address: int, index: int, meaningful: bool) -> None:
+        previous = unread.get(address)
+        if previous is not None and previous[1]:
+            diagnostics.append(
+                Diagnostic(
+                    "RPR002",
+                    Severity.WARNING,
+                    f"write to cell {address} at instruction {previous[0]} "
+                    f"is overwritten at instruction {index} without being "
+                    "read",
+                    Location(program.name, previous[0], address),
+                    hint="drop the earlier write or read it first",
+                )
+            )
+        initialized.add(address)
+        unread[address] = (index, meaningful)
+
+    for index, instr in enumerate(program.instructions):
+        if isinstance(instr, WriteInstr):
+            note_write(instr.address, index, instr.source is not None)
+        elif isinstance(instr, ReadInstr):
+            note_read(instr.address, index)
+            if instr.tag is not None:
+                slots = streams.setdefault(instr.tag, {})
+                if instr.index in slots:
+                    diagnostics.append(
+                        Diagnostic(
+                            "RPR004",
+                            Severity.ERROR,
+                            f"read-out tag {instr.tag!r} writes slot "
+                            f"{instr.index} twice (instructions "
+                            f"{slots[instr.index]} and {index})",
+                            Location(program.name, index),
+                            hint="each stream slot must be produced by "
+                            "exactly one tagged read",
+                        )
+                    )
+                slots[instr.index] = index
+        else:  # Gate
+            for address in instr.inputs:
+                note_read(address, index)
+            note_write(instr.output, index, True)
+
+    for address, (index, meaningful) in sorted(unread.items()):
+        if meaningful and address not in output_addresses:
+            diagnostics.append(
+                Diagnostic(
+                    "RPR002",
+                    Severity.WARNING,
+                    f"final write to cell {address} at instruction {index} "
+                    "is never read and the cell is not a declared output",
+                    Location(program.name, index, address),
+                    hint="free the value without computing it, or declare "
+                    "it an output",
+                )
+            )
+
+    for name, addresses in sorted(program.outputs.items()):
+        for address in addresses:
+            if address not in initialized:
+                diagnostics.append(
+                    Diagnostic(
+                        "RPR004",
+                        Severity.ERROR,
+                        f"declared output {name!r} uses cell {address}, "
+                        "which no instruction writes",
+                        Location(program.name, address=address),
+                        hint="compute the output bit or remove it from "
+                        "the declaration",
+                    )
+                )
+    for tag, slots in sorted(streams.items()):
+        missing = sorted(set(range(max(slots) + 1)) - set(slots))
+        if missing:
+            diagnostics.append(
+                Diagnostic(
+                    "RPR004",
+                    Severity.ERROR,
+                    f"read-out tag {tag!r} leaves stream slots {missing} "
+                    "unwritten (consumers would read zero-filled padding)",
+                    Location(program.name),
+                    hint="tagged read indices must cover 0..max densely",
+                )
+            )
+    return diagnostics
+
+
+def check_bounds(
+    program: LaneProgram, lane_size: int, spare_bit: bool = False
+) -> List[Diagnostic]:
+    """RPR003/RPR009: does the program's footprint fit the lane?
+
+    Args:
+        program: The lane program.
+        lane_size: Physical bits per lane in the target geometry.
+        spare_bit: Whether hardware re-mapping is active, which reserves
+            one physical bit (Section 3.2: ``N-1`` logical addresses).
+    """
+    if spare_bit and program.footprint > lane_size - 1:
+        return [
+            Diagnostic(
+                "RPR009",
+                Severity.ERROR,
+                f"hardware re-mapping needs a spare bit: footprint "
+                f"{program.footprint} must be < lane size {lane_size}",
+                Location(program.name),
+                hint="shrink the program's workspace or disable +Hw",
+            )
+        ]
+    if program.footprint > lane_size:
+        return [
+            Diagnostic(
+                "RPR003",
+                Severity.ERROR,
+                f"program footprint {program.footprint} exceeds the "
+                f"lane size {lane_size}",
+                Location(program.name),
+                hint="use a larger array or a tighter workspace policy",
+            )
+        ]
+    return []
+
+
+def check_levels(program: LaneProgram) -> List[Diagnostic]:
+    """RPR005: re-prove the compiled gate levels are race-free."""
+    from repro.synth.compiled import _GateLevel
+
+    segments = [
+        segment
+        for segment in program.compiled()._segments
+        if isinstance(segment, _GateLevel)
+    ]
+    return check_level_segments(segments, program.name)
+
+
+def check_level_segments(segments, program_name: str) -> List[Diagnostic]:
+    """RPR005 over explicit gate-level segments (testable in isolation).
+
+    A level is race-free when its gate outputs are pairwise distinct and
+    no output address is also a level input — then the gates commute, so
+    the fused same-opcode groups may execute in any order.
+    """
+    diagnostics: List[Diagnostic] = []
+    for rank, level in enumerate(segments):
+        outputs = [int(a) for a in level.output_addresses]
+        inputs = {int(a) for a in level.input_addresses}
+        seen: Set[int] = set()
+        for address in outputs:
+            if address in seen:
+                diagnostics.append(
+                    Diagnostic(
+                        "RPR005",
+                        Severity.ERROR,
+                        f"gate level {rank} writes cell {address} twice "
+                        "(write-write race within a fused level)",
+                        Location(
+                            program_name,
+                            address=address,
+                            place=f"level {rank}",
+                        ),
+                        hint="the level scheduler must flush on "
+                        "write-after-write hazards",
+                    )
+                )
+            seen.add(address)
+        for address in sorted(seen & inputs):
+            diagnostics.append(
+                Diagnostic(
+                    "RPR005",
+                    Severity.ERROR,
+                    f"gate level {rank} both reads and writes cell "
+                    f"{address} (read-write race within a fused level)",
+                    Location(
+                        program_name, address=address, place=f"level {rank}"
+                    ),
+                    hint="the level scheduler must flush on "
+                    "read-after-write hazards",
+                )
+            )
+    return diagnostics

@@ -118,16 +118,12 @@ class BinaryNeuron(Workload):
             )
         program = self.build_program(architecture)
         gate_slots = architecture.writes_per_gate
+        # Count instructions, not closed forms: MAJ-library synthesis
+        # writes a shared constant cell a closed-form count misses.
         phases = [
-            Phase(
-                "load-inputs",
-                # Inputs, weights, threshold, and the comparator's
-                # constant carry-seed write.
-                2 * self.n_inputs + self.count_width + 1,
-                lanes,
-            ),
+            Phase("load-inputs", program.load_ops, lanes),
             Phase("neuron", program.gate_count * gate_slots, lanes),
-            Phase("read-out", 1, lanes),
+            Phase("read-out", program.readout_ops, lanes),
         ]
         return WorkloadMapping(
             workload_name=self.name,

@@ -25,8 +25,9 @@ from repro.gates.library import GateLibrary
 from repro.synth.adders import ripple_carry_add
 from repro.synth.analysis import (
     adder_counts,
-    full_adder_counts,
+    carry_adder_counts,
     multiplier_counts,
+    shared_const_writes,
 )
 from repro.synth.bits import AllocationPolicy, BitVector
 from repro.synth.comparator import compare_ge
@@ -217,9 +218,14 @@ class Convolution(Workload):
         gate_slots = architecture.writes_per_gate
         mult_gates = multiplier_counts(self.bits, library).gates
 
+        # Majority fabrics seed one shared constant cell per program; the
+        # primitive probes exclude it, so the load phase adds it back.
         phases: List[Phase] = [
             Phase(
-                "load-operands", 2 * self.bits * self.products_per_lane, used_lanes
+                "load-operands",
+                2 * self.bits * self.products_per_lane
+                + shared_const_writes(library),
+                used_lanes,
             )
         ]
         # Per-lane product accumulation (all lanes in lock-step).
@@ -239,9 +245,9 @@ class Convolution(Workload):
             add_steps = pad + adder_counts(width, library).gates * gate_slots
             phases.append(Phase(f"gather{r}-add", add_steps, leaders))
         # Threshold comparison on the leaders: one constant-seed write plus,
-        # per bit, one NOT and one full adder (see synth.comparator).
+        # per bit, one NOT and one carry-only adder (see synth.comparator).
         compare_gates = self.final_width * (
-            1 + full_adder_counts(library).gates
+            1 + carry_adder_counts(library).gates
         )
         phases.append(Phase("threshold-load", self.final_width, leaders))
         phases.append(

@@ -23,7 +23,11 @@ from repro.array.architecture import PIMArchitecture
 from repro.gates.library import GateLibrary
 from repro.synth.adders import ripple_carry_add
 from repro.synth.bits import AllocationPolicy
-from repro.synth.analysis import adder_counts, multiplier_counts
+from repro.synth.analysis import (
+    adder_counts,
+    multiplier_counts,
+    shared_const_writes,
+)
 from repro.synth.multiplier import multiply
 from repro.synth.program import LaneProgram, LaneProgramBuilder
 from repro.workloads.base import Phase, Workload, WorkloadMapping
@@ -166,8 +170,14 @@ class DotProduct(Workload):
 
         gate_slots = architecture.writes_per_gate
         mult_gates = multiplier_counts(self.bits, library).gates
+        # Majority fabrics seed one shared constant cell per program; the
+        # primitive probes exclude it, so the load phase adds it back.
         phases: List[Phase] = [
-            Phase("load-operands", 2 * self.bits, n),
+            Phase(
+                "load-operands",
+                2 * self.bits + shared_const_writes(library),
+                n,
+            ),
             Phase("multiply", mult_gates * gate_slots, n),
         ]
         for s in range(1, self.rounds + 1):

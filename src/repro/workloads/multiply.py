@@ -82,10 +82,12 @@ class ParallelMultiplication(Workload):
         program = self.build_program(architecture)
         assignment = {lane: program for lane in range(lanes)}
         gate_slots = architecture.writes_per_gate  # pre-set adds one slot
+        # Count instructions, not closed forms: MAJ-library synthesis
+        # writes a shared constant cell the 2*bits operand count misses.
         phases = [
-            Phase("load-operands", 2 * self.bits, lanes),
+            Phase("load-operands", program.load_ops, lanes),
             Phase("multiply", program.gate_count * gate_slots, lanes),
-            Phase("read-out", 2 * self.bits, lanes),
+            Phase("read-out", program.readout_ops, lanes),
         ]
         return WorkloadMapping(
             workload_name=self.name,

@@ -70,10 +70,12 @@ class VectorAdd(Workload):
             )
         program = self.build_program(architecture)
         gate_slots = architecture.writes_per_gate
+        # Count instructions, not closed forms: MAJ-library synthesis
+        # writes a shared constant cell the 2*bits operand count misses.
         phases = [
-            Phase("load-operands", 2 * self.bits, lanes),
+            Phase("load-operands", program.load_ops, lanes),
             Phase("add", program.gate_count * gate_slots, lanes),
-            Phase("read-out", self.bits + 1, lanes),
+            Phase("read-out", program.readout_ops, lanes),
         ]
         return WorkloadMapping(
             workload_name=self.name,

@@ -17,6 +17,13 @@ class TestNandLibrary:
         assert NAND_LIBRARY.full_adder_gates == 9
         assert NAND_LIBRARY.half_adder_gates == 5
 
+    def test_carry_adder_costs(self):
+        # Carry-only chain: Fig. 2's XOR block plus the carry NAND (6),
+        # its NOR dual (6), and the minimal library's carry tree (4).
+        assert NAND_LIBRARY.carry_adder_gates == 6
+        assert NOR_LIBRARY.carry_adder_gates == 6
+        assert MINIMAL_LIBRARY.carry_adder_gates == 4
+
     def test_and_is_single_gate(self):
         # Section 3.1's 9,824 total counts each AND as one gate.
         assert NAND_LIBRARY.and_gate_cost == 1

@@ -8,6 +8,7 @@ from repro.gates.library import MAJ_LIBRARY, NAND_LIBRARY
 from repro.gates.ops import GateOp
 from repro.synth.adders import full_adder, half_adder, ripple_carry_add
 from repro.synth.analysis import (
+    carry_adder_counts,
     full_adder_counts,
     half_adder_counts,
     multiplier_counts,
@@ -28,6 +29,11 @@ class TestLibraryContract:
 
     def test_half_adder_is_4_gates(self):
         assert half_adder_counts(MAJ_LIBRARY).gates == 4
+
+    def test_carry_adder_is_1_gate(self):
+        # The comparator's borrow chain is a single native majority.
+        assert MAJ_LIBRARY.carry_adder_gates == 1
+        assert carry_adder_counts(MAJ_LIBRARY).gates == 1
 
     def test_multiplier_roughly_halves_nand_cost(self):
         maj = multiplier_counts(32, MAJ_LIBRARY)

@@ -33,6 +33,18 @@ REPRO_ALL = {
     "MatrixVectorProduct",
     # telemetry
     "Telemetry", "get_telemetry",
+    # verify
+    "Diagnostic", "Severity", "VerificationError", "VerifyReport",
+    "verify_mapping", "verify_network", "verify_program", "verify_spec",
+}
+
+VERIFY_ALL = {
+    "CODES", "Diagnostic", "FUNCTIONAL_CODES", "Location", "Severity",
+    "VerificationError", "VerifyReport", "check_bounds", "check_config",
+    "check_dataflow", "check_level_segments", "check_levels",
+    "check_permutation_rows", "check_profile_conservation",
+    "check_schedule", "verify_mapping", "verify_network",
+    "verify_program", "verify_spec",
 }
 
 ENGINE_ALL = {
@@ -56,6 +68,7 @@ TELEMETRY_ALL = {
         ("repro", REPRO_ALL),
         ("repro.engine", ENGINE_ALL),
         ("repro.telemetry", TELEMETRY_ALL),
+        ("repro.verify", VERIFY_ALL),
     ],
 )
 class TestPublicSurface:

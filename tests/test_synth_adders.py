@@ -7,7 +7,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.gates.library import MINIMAL_LIBRARY, NAND_LIBRARY, NOR_LIBRARY
-from repro.synth.adders import full_adder, half_adder, ripple_carry_add
+from repro.synth.adders import (
+    carry_adder,
+    full_adder,
+    half_adder,
+    ripple_carry_add,
+)
 from repro.synth.bits import BitVector
 from repro.synth.program import LaneProgramBuilder
 
@@ -66,6 +71,35 @@ class TestFullAdder:
         program = builder.finish()
         assert program.total_reads == 18
         assert program.total_writes - 3 == 9  # minus operand loads
+
+
+class TestCarryAdder:
+    @pytest.mark.parametrize("library", LIBRARIES, ids=lambda l: l.name)
+    @pytest.mark.parametrize(
+        "a,b,cin", list(itertools.product([0, 1], repeat=3))
+    )
+    def test_exhaustive_truth_table(self, library, a, b, cin):
+        builder = LaneProgramBuilder(library)
+        av = builder.input_vector("a", 1)
+        bv = builder.input_vector("b", 1)
+        cv = builder.input_vector("c", 1)
+        cout = carry_adder(builder, av[0], bv[0], cv[0])
+        builder.mark_output("cout", BitVector([cout]))
+        outputs, _ = builder.finish().evaluate({"a": a, "b": b, "c": cin})
+        assert outputs["cout"] == (a + b + cin) // 2
+
+    @pytest.mark.parametrize("library", LIBRARIES, ids=lambda l: l.name)
+    def test_gate_cost_matches_library_contract(self, library):
+        builder = LaneProgramBuilder(library)
+        av = builder.input_vector("a", 1)
+        bv = builder.input_vector("b", 1)
+        cv = builder.input_vector("c", 1)
+        carry_adder(builder, av[0], bv[0], cv[0])
+        assert builder.finish().gate_count == library.carry_adder_gates
+
+    @pytest.mark.parametrize("library", LIBRARIES, ids=lambda l: l.name)
+    def test_cheaper_than_full_adder(self, library):
+        assert library.carry_adder_gates < library.full_adder_gates
 
 
 class TestHalfAdder:

@@ -41,11 +41,33 @@ class TestCorrectness:
 
 
 class TestCostsAndValidation:
-    def test_gate_cost_is_nots_plus_full_adders(self):
+    @pytest.mark.parametrize(
+        "library", [MINIMAL_LIBRARY, NAND_LIBRARY, NOR_LIBRARY],
+        ids=lambda l: l.name,
+    )
+    def test_gate_cost_is_nots_plus_carry_adders(self, library):
         width = 8
-        program = _compare_program(NAND_LIBRARY, width)
-        expected = width * (1 + NAND_LIBRARY.full_adder_gates)
+        program = _compare_program(library, width)
+        expected = width * (1 + library.carry_adder_gates)
         assert program.gate_count == expected
+
+    def test_no_dead_sum_writes(self):
+        # The carry-only chain reads every gate output it writes; a full
+        # adder per bit would leave `width` discarded sum cells behind.
+        program = _compare_program(NAND_LIBRARY, 8)
+        read_addresses = {
+            addr for instr in program.instructions
+            for addr in getattr(instr, "inputs", ())
+        }
+        output_addrs = {
+            addr for bits in program.outputs.values() for addr in bits
+        }
+        for instr in program.instructions:
+            if getattr(instr, "op", None) is not None:
+                assert (
+                    instr.output in read_addresses
+                    or instr.output in output_addrs
+                )
 
     def test_one_constant_seed_write(self):
         program = _compare_program(MINIMAL_LIBRARY, 4)

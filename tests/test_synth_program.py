@@ -7,8 +7,10 @@ from repro.gates.ops import GateOp
 from repro.synth.bits import BitVector
 from repro.synth.program import (
     ConstBit,
+    ExternalBit,
     LaneProgram,
     LaneProgramBuilder,
+    OperandBit,
     ReadInstr,
     WriteInstr,
 )
@@ -192,4 +194,53 @@ class TestBuilder:
         with pytest.raises(ValueError, match="outside footprint"):
             LaneProgram(
                 "bad", [WriteInstr(5)], footprint=2, inputs={}, outputs={}
+            )
+
+
+class TestConstructionTimeValidation:
+    """Malformed programs are rejected when built, not deep in evaluate."""
+
+    def test_negative_operand_index_rejected(self):
+        with pytest.raises(ValueError, match="negative operand bit index"):
+            OperandBit("a", -1)
+
+    def test_negative_external_index_rejected(self):
+        with pytest.raises(ValueError, match="negative external"):
+            ExternalBit("t", -1)
+
+    def test_negative_readout_index_rejected(self):
+        with pytest.raises(ValueError, match="negative read-out"):
+            ReadInstr(0, tag="x", index=-1)
+
+    def test_undeclared_operand_rejected(self):
+        with pytest.raises(ValueError, match="undeclared operand 'ghost'"):
+            LaneProgram(
+                "bad",
+                [WriteInstr(0, OperandBit("ghost", 0))],
+                footprint=1,
+                inputs={},
+                outputs={},
+            )
+
+    def test_operand_index_beyond_width_rejected(self):
+        with pytest.raises(ValueError, match="only 1 bits wide"):
+            LaneProgram(
+                "bad",
+                [
+                    WriteInstr(0, OperandBit("a", 0)),
+                    WriteInstr(1, OperandBit("a", 3)),
+                ],
+                footprint=2,
+                inputs={"a": (0,)},
+                outputs={},
+            )
+
+    def test_declared_output_outside_footprint_rejected(self):
+        with pytest.raises(ValueError, match="outside footprint"):
+            LaneProgram(
+                "bad",
+                [WriteInstr(0)],
+                footprint=1,
+                inputs={},
+                outputs={"z": (4,)},
             )

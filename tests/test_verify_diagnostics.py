@@ -1,0 +1,116 @@
+"""The diagnostic framework: codes, report ordering, renderers, exit codes."""
+
+import json
+
+import pytest
+
+from repro.verify import (
+    CODES,
+    Diagnostic,
+    Location,
+    Severity,
+    VerifyReport,
+)
+
+
+def diag(code="RPR001", severity=Severity.ERROR, message="boom", **kwargs):
+    return Diagnostic(code, severity, message, **kwargs)
+
+
+class TestDiagnostic:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic("RPR999", Severity.ERROR, "nope")
+
+    def test_every_registered_code_constructs(self):
+        for code in CODES:
+            assert Diagnostic(code, Severity.ERROR, "x").code == code
+
+    def test_render_carries_code_severity_location_hint(self):
+        d = diag(
+            location=Location("mult-32", instruction=7, address=3),
+            hint="do the thing",
+        )
+        text = d.render()
+        assert text.startswith("RPR001 error: boom")
+        assert "program 'mult-32'" in text
+        assert "instruction 7" in text
+        assert "bit 3" in text
+        assert text.endswith("(hint: do the thing)")
+
+    def test_render_without_location_omits_brackets(self):
+        assert diag().render() == "RPR001 error: boom"
+
+    def test_as_dict_is_json_able(self):
+        d = diag(location=Location(place="config StxSt"))
+        record = json.loads(json.dumps(d.as_dict()))
+        assert record["code"] == "RPR001"
+        assert record["severity"] == "error"
+        assert record["place"] == "config StxSt"
+        assert record["program"] is None
+
+
+class TestVerifyReport:
+    def test_empty_report_is_ok_exit_zero(self):
+        report = VerifyReport()
+        assert report.ok
+        assert report.exit_code == 0
+        assert len(report) == 0
+        assert report.render_text() == "verify: no diagnostics"
+
+    def test_errors_sort_before_warnings(self):
+        report = VerifyReport(
+            [
+                diag("RPR002", Severity.WARNING),
+                diag("RPR001", Severity.ERROR),
+                diag("RPR006", Severity.ERROR),
+            ]
+        )
+        assert [d.severity for d in report] == [
+            Severity.ERROR,
+            Severity.ERROR,
+            Severity.WARNING,
+        ]
+        assert report.exit_code == 1
+        assert not report.ok
+
+    def test_warnings_only_exit_two(self):
+        report = VerifyReport([diag("RPR002", Severity.WARNING)])
+        assert report.exit_code == 2
+        assert not report.ok
+
+    def test_without_drops_codes(self):
+        report = VerifyReport(
+            [diag("RPR001"), diag("RPR002", Severity.WARNING)]
+        )
+        pruned = report.without(["RPR002"])
+        assert pruned.codes() == ["RPR001"]
+
+    def test_without_unknown_code_raises(self):
+        with pytest.raises(ValueError, match="unknown codes"):
+            VerifyReport().without(["RPR999"])
+
+    def test_merged_combines_and_resorts(self):
+        left = VerifyReport([diag("RPR002", Severity.WARNING)])
+        right = VerifyReport([diag("RPR003", Severity.ERROR)])
+        merged = left.merged(right)
+        assert merged.codes() == ["RPR003", "RPR002"]
+
+    def test_render_text_summary_line(self):
+        report = VerifyReport(
+            [diag("RPR001"), diag("RPR002", Severity.WARNING)]
+        )
+        assert report.render_text().splitlines()[-1] == (
+            "verify: 1 error(s), 1 warning(s), 2 total"
+        )
+
+    def test_render_json_summary(self):
+        report = VerifyReport([diag("RPR001")])
+        payload = json.loads(report.render_json())
+        assert payload["summary"] == {
+            "errors": 1,
+            "warnings": 0,
+            "total": 1,
+            "exit_code": 1,
+        }
+        assert payload["diagnostics"][0]["code"] == "RPR001"
