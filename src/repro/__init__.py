@@ -49,6 +49,17 @@ from repro.core import (
     technology_sweep,
 )
 from repro.devices import MRAM, PCM, RRAM, Technology, technology_by_name
+from repro.fleet import (
+    CohortSpec,
+    FleetReport,
+    FleetService,
+    FleetSpec,
+    PopulationSpec,
+    SurvivalCurve,
+    TrafficSpec,
+    kaplan_meier,
+    run_campaign,
+)
 from repro.gates import MINIMAL_LIBRARY, NAND_LIBRARY, GateLibrary, GateOp
 from repro.workloads import (
     BinaryNeuron,
@@ -108,6 +119,16 @@ __all__ = [
     "RRAM",
     "PCM",
     "technology_by_name",
+    # fleet
+    "CohortSpec",
+    "FleetReport",
+    "FleetService",
+    "FleetSpec",
+    "PopulationSpec",
+    "SurvivalCurve",
+    "TrafficSpec",
+    "kaplan_meier",
+    "run_campaign",
     # gates
     "GateOp",
     "GateLibrary",

@@ -404,6 +404,89 @@ def cmd_deployment(args) -> None:
         f"{summary.horizon_days:.1f} d")
 
 
+def _parse_weighted(tokens, what):
+    """Parse ``NAME`` / ``NAME:WEIGHT`` tokens into ``(name, weight)``."""
+    out = []
+    for token in tokens:
+        name, _, weight = token.partition(":")
+        try:
+            out.append((name, float(weight) if weight else 1.0))
+        except ValueError:
+            raise SystemExit(
+                f"bad {what} {token!r}: expected NAME or NAME:WEIGHT"
+            ) from None
+    return out
+
+
+def cmd_fleet(args) -> int:
+    """Fleet-scale endurance campaign (extension E33)."""
+    import json as json_module
+
+    from repro.engine import ResultStore
+    from repro.fleet import (
+        CohortSpec,
+        FleetService,
+        FleetSpec,
+        PopulationSpec,
+        TrafficSpec,
+        format_report,
+    )
+
+    settings = _make_settings(args)
+    cohorts = tuple(
+        CohortSpec(
+            workload=name,
+            config=args.config,
+            weight=weight,
+            iterations_per_request=args.iters_per_request,
+        )
+        for name, weight in _parse_weighted(args.workloads, "workload")
+    )
+    spec = FleetSpec(
+        population=PopulationSpec(
+            n_arrays=args.arrays,
+            technology_mix=tuple(
+                _parse_weighted(args.technology_mix, "technology")
+            ),
+            cohorts=cohorts,
+            endurance_sigma=args.sigma,
+            repacking=args.repacking,
+        ),
+        traffic=TrafficSpec(model=args.traffic, rate=args.rate),
+        days=args.days,
+        seed=settings.seed,
+        dispatch=args.dispatch,
+        duty_cycle=args.duty_cycle,
+        slo=args.slo,
+        rows=args.rows,
+        cols=args.cols,
+        cohort_iterations=args.cohort_iterations,
+        kernel=settings.kernel,
+        chunk_size=settings.chunk_size,
+    )
+    cache_dir = getattr(args, "cache_dir", None)
+    service = FleetService(
+        spec,
+        store=ResultStore(cache_dir) if cache_dir else None,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        jobs=getattr(args, "jobs", 1),
+    )
+    report = service.run(stop_after_day=args.stop_after_day)
+    if report is None:
+        say(
+            f"fleet {spec.content_hash[:12]}: paused after day "
+            f"{args.stop_after_day} (checkpoint written; rerun without "
+            f"--stop-after-day to finish)"
+        )
+        return 0
+    if args.json:
+        say(json_module.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        format_report(report, emit=say)
+    return 0
+
+
 def cmd_verify(args) -> int:
     """Statically verify built-in workloads across gate libraries.
 
@@ -614,6 +697,84 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flags(p)
     _add_sim_flags(p)
     p.set_defaults(func=cmd_remap_sweep)
+
+    p = sub.add_parser(
+        "fleet",
+        help="fleet-scale endurance campaign with stochastic traffic",
+    )
+    p.add_argument("--arrays", type=int, default=64, help="population size")
+    p.add_argument("--days", type=int, default=30, help="virtual days")
+    p.add_argument(
+        "--workloads", metavar="NAME[:WEIGHT]", nargs="+", default=["mult"],
+        help="cohort workloads with optional traffic weights "
+             "(e.g. mult:2 conv:1)",
+    )
+    p.add_argument(
+        "--config", default="StxSt", help="balance configuration label"
+    )
+    p.add_argument(
+        "--technology-mix", metavar="NAME[:WEIGHT]", nargs="+",
+        default=["MRAM"],
+        help="technology presets with optional population weights "
+             "(e.g. MRAM:3 RRAM:1)",
+    )
+    p.add_argument(
+        "--sigma", type=float, default=0.0,
+        help="per-cell lognormal endurance spread (0 = uniform)",
+    )
+    p.add_argument(
+        "--repacking", action="store_true", default=False,
+        help="arrays die at the fault-aware repacking horizon instead "
+             "of first cell failure",
+    )
+    p.add_argument(
+        "--traffic", choices=("deterministic", "poisson", "bursty"),
+        default="poisson", help="arrival process",
+    )
+    p.add_argument(
+        "--rate", type=float, default=1000.0,
+        help="mean requests per virtual day",
+    )
+    p.add_argument(
+        "--iters-per-request", type=int, default=1,
+        help="workload iterations one request costs",
+    )
+    p.add_argument(
+        "--dispatch", choices=("even", "least_worn"), default="even",
+        help="how a cohort's demand spreads over its live arrays",
+    )
+    p.add_argument(
+        "--duty-cycle", type=float, default=1.0,
+        help="fraction of each day an array may compute",
+    )
+    p.add_argument(
+        "--slo", type=float, default=0.999,
+        help="confidence level for capacity-headroom analysis",
+    )
+    p.add_argument(
+        "--cohort-iterations", type=int, default=2000,
+        help="iterations for each cohort's wear calibration",
+    )
+    p.add_argument(
+        "--checkpoint-dir", default=None,
+        help="directory for campaign checkpoints (enables resume)",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=0,
+        help="checkpoint after every N completed virtual days",
+    )
+    p.add_argument(
+        "--stop-after-day", type=int, default=None,
+        help="pause after this virtual day (requires --checkpoint-dir); "
+             "rerun to resume",
+    )
+    p.add_argument(
+        "--json", action="store_true", default=False,
+        help="emit the fleet report as JSON",
+    )
+    _add_engine_flags(p)
+    _add_sim_flags(p)
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
         "verify",

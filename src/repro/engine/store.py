@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import zipfile
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Iterator, Optional, Tuple, Union
 
 from repro.core.io import LoadedResult, load_result, save_result
 from repro.core.simulator import SimulationResult
@@ -145,6 +146,40 @@ class ResultStore:
             return json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             return None
+
+    def iter_manifests(self) -> Iterator[Tuple[str, dict]]:
+        """Stream ``(content_hash, manifest)`` for every run manifest.
+
+        Walks the whole store — including shard sub-stores created with
+        :meth:`shard` — in sorted path order, so aggregation over the
+        stream is deterministic. Unreadable manifests are skipped: the
+        stream is an observability surface, not a correctness one.
+        This is the primitive fleet-scale consumers aggregate from.
+        """
+        for path in sorted(self.root.rglob("*.manifest.json")):
+            try:
+                manifest = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            yield path.name[: -len(".manifest.json")], manifest
+
+    # -- sharding -------------------------------------------------------
+
+    def shard(self, name: str) -> "ResultStore":
+        """A sub-store rooted at ``root/shards/<name>`` (created lazily).
+
+        Shards partition one store by a caller-chosen key — the fleet
+        service shards by array cohort — while :meth:`iter_manifests`
+        on the parent still streams over every shard. Shard names are
+        slugged to filesystem-safe characters; two names that slug
+        identically share a shard.
+        """
+        slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", name.strip()).strip("_")
+        if not slug:
+            raise ValueError(f"shard name {name!r} has no usable characters")
+        return ResultStore(
+            self.root / "shards" / slug, compress=self.compress
+        )
 
     # -- introspection --------------------------------------------------
 

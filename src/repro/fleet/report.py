@@ -1,0 +1,171 @@
+"""The fleet report: canonical campaign output, hashable and renderable.
+
+A :class:`FleetReport` separates two kinds of content:
+
+* the **canonical payload** — spec identity, population makeup, death
+  days, survival curve, replacement rate, traffic totals, SLO headroom —
+  which is a pure function of the fleet spec, so its hash
+  (:meth:`FleetReport.content_hash`) is the resume-determinism oracle:
+  cold runs, warm (store-cached) runs, and checkpoint-resumed runs of
+  the same campaign must all hash identically. The CI fleet-smoke job
+  pins this hash.
+* the **runtime section** (wall times, cache hits, manifest census) —
+  observability that legitimately differs between runs and is therefore
+  excluded from the hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.fleet.survival import SurvivalCurve, canonical_hash
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """The result of one fleet campaign.
+
+    Attributes:
+        spec_identity: The campaign spec's canonical identity dict.
+        spec_hash: The campaign spec's content hash.
+        days_simulated: Virtual days actually run (== horizon unless
+            the campaign was stopped early).
+        death_days: Per-array death day (``-1`` = alive at horizon).
+        cohort_keys: Per-array cohort key.
+        technology_names: Per-array technology name.
+        curve: Kaplan–Meier survival curve over the campaign.
+        annual_replacement_rate: Expected replacements/array/year.
+        requests_served: Total requests fully served.
+        requests_dropped: Requests shed for lack of live capacity.
+        headroom: SLO provisioning summary
+            (:func:`repro.fleet.survival.capacity_headroom`).
+        runtime: Non-canonical observability (wall clock, cache stats,
+            manifest census); excluded from the hash.
+    """
+
+    spec_identity: Dict
+    spec_hash: str
+    days_simulated: int
+    death_days: List[int]
+    cohort_keys: List[str]
+    technology_names: List[str]
+    curve: SurvivalCurve
+    annual_replacement_rate: float
+    requests_served: int
+    requests_dropped: int
+    headroom: Dict
+    runtime: Dict = field(default_factory=dict, compare=False)
+
+    @property
+    def n_arrays(self) -> int:
+        """Population size."""
+        return len(self.death_days)
+
+    @property
+    def n_deaths(self) -> int:
+        """Arrays dead by the end of the campaign."""
+        return sum(1 for day in self.death_days if day >= 0)
+
+    @property
+    def n_alive(self) -> int:
+        """Arrays alive at the end of the campaign."""
+        return self.n_arrays - self.n_deaths
+
+    def canonical(self) -> Dict:
+        """The deterministic payload the content hash covers."""
+        return {
+            "spec": self.spec_identity,
+            "spec_hash": self.spec_hash,
+            "days_simulated": self.days_simulated,
+            "death_days": [int(d) for d in self.death_days],
+            "cohort_keys": list(self.cohort_keys),
+            "technology_names": list(self.technology_names),
+            "curve": self.curve.to_json(),
+            "annual_replacement_rate": float(self.annual_replacement_rate),
+            "requests_served": int(self.requests_served),
+            "requests_dropped": int(self.requests_dropped),
+            "headroom": self.headroom,
+        }
+
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical payload (resume-determinism pin)."""
+        return canonical_hash(self.canonical())
+
+    def to_json(self) -> Dict:
+        """Full JSON form: canonical payload + hashes + runtime extras."""
+        payload = self.canonical()
+        payload["report_hash"] = self.content_hash()
+        payload["curve_hash"] = self.curve.content_hash()
+        payload["runtime"] = self.runtime
+        return payload
+
+    def deaths_by(self, labels: List[str]) -> Dict[str, Dict[str, int]]:
+        """Death/total census grouped by a per-array label vector."""
+        census: Dict[str, Dict[str, int]] = {}
+        for label, day in zip(labels, self.death_days):
+            entry = census.setdefault(label, {"total": 0, "dead": 0})
+            entry["total"] += 1
+            if day >= 0:
+                entry["dead"] += 1
+        return dict(sorted(census.items()))
+
+
+def format_report(
+    report: FleetReport, emit: Optional[Callable[[str], None]] = None
+) -> str:
+    """Render a fleet report for a terminal.
+
+    Args:
+        report: The report to render.
+        emit: Optional per-line sink (e.g.
+            :func:`repro.telemetry.reporter.say`); the rendered text is
+            returned either way.
+    """
+    lines = [
+        f"fleet report  {report.spec_hash[:12]}",
+        f"  arrays: {report.n_arrays}  "
+        f"alive: {report.n_alive}  dead: {report.n_deaths}  "
+        f"horizon: {report.curve.horizon_days} day(s)",
+        f"  survival at horizon: "
+        f"{report.curve.probability_at(report.curve.horizon_days):.4f}",
+        f"  annual replacement rate: "
+        f"{report.annual_replacement_rate:.4f} /array/year",
+        f"  requests: {report.requests_served} served, "
+        f"{report.requests_dropped} dropped",
+    ]
+    by_technology = report.deaths_by(report.technology_names)
+    if len(by_technology) > 1:
+        lines.append("  by technology:")
+        for name, entry in by_technology.items():
+            lines.append(
+                f"    {name:<16} {entry['dead']}/{entry['total']} dead"
+            )
+    by_cohort = report.deaths_by(report.cohort_keys)
+    if len(by_cohort) > 1:
+        lines.append("  by cohort:")
+        for name, entry in by_cohort.items():
+            lines.append(
+                f"    {name:<16} {entry['dead']}/{entry['total']} dead"
+            )
+    headroom = report.headroom
+    if headroom["required_arrays"] is None:
+        lines.append(
+            f"  slo {headroom['slo']:g}: demand "
+            f"{headroom['demand_arrays']} array(s), unattainable "
+            f"(zero survival at horizon)"
+        )
+    else:
+        lines.append(
+            f"  slo {headroom['slo']:g}: demand {headroom['demand_arrays']} "
+            f"array(s), required {headroom['required_arrays']}, "
+            f"headroom {headroom['headroom_arrays']:+d} "
+            f"({'meets' if headroom['meets_slo'] else 'MISSES'} SLO)"
+        )
+    lines.append(f"  curve hash: {report.curve.content_hash()}")
+    lines.append(f"  report hash: {report.content_hash()}")
+    text = "\n".join(lines)
+    if emit is not None:
+        for line in lines:
+            emit(line)
+    return text

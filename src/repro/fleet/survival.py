@@ -1,0 +1,243 @@
+"""Fleet survival analytics: Kaplan–Meier, replacement rate, headroom.
+
+Deaths come out of a campaign as integer virtual days (``-1`` = alive at
+the horizon, i.e. right-censored). The estimator here is the standard
+Kaplan–Meier product-limit; with every array followed for the full
+horizon (no staggered entry) it degenerates to the empirical survival
+function, and for a one-array deterministic-traffic fleet the curve's
+single step lands exactly on the closed-form
+:func:`repro.core.failure.failure_timeline` day — the bit-exactness
+property ``tests/test_fleet_survival.py`` pins.
+
+Capacity planning inverts the curve: given a demand of ``d`` arrays and
+a survival probability ``s`` at the planning horizon, provision the
+smallest ``n`` with ``P(Binomial(n, s) >= d) >= slo`` — the binomial
+tail evaluated in log space (:func:`math.lgamma`), no SciPy needed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SurvivalCurve:
+    """A Kaplan–Meier survival curve over virtual days.
+
+    Attributes:
+        horizon_days: Campaign length; alive arrays are censored here.
+        days: Distinct event days, ascending.
+        deaths: Deaths on each event day.
+        at_risk: Arrays still alive entering each event day.
+        survival: KM estimate ``S(day)`` after each event day.
+    """
+
+    horizon_days: int
+    days: Sequence[int]
+    deaths: Sequence[int]
+    at_risk: Sequence[int]
+    survival: Sequence[float]
+
+    def probability_at(self, day: int) -> float:
+        """``S(day)`` — survival probability at the end of ``day``."""
+        out = 1.0
+        for event_day, value in zip(self.days, self.survival):
+            if event_day > day:
+                break
+            out = value
+        return out
+
+    def to_json(self) -> Dict:
+        """Canonical JSON-able form (hashed into the fleet report)."""
+        return {
+            "horizon_days": self.horizon_days,
+            "days": [int(d) for d in self.days],
+            "deaths": [int(d) for d in self.deaths],
+            "at_risk": [int(n) for n in self.at_risk],
+            "survival": [float(s) for s in self.survival],
+        }
+
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical JSON form (the CI smoke pin)."""
+        return canonical_hash(self.to_json())
+
+
+def canonical_hash(payload: Dict) -> str:
+    """SHA-256 of a dict's canonical (sorted, compact) JSON encoding.
+
+    Floats serialize via ``repr`` so equal doubles always hash equally;
+    this is the hash the CI fleet-smoke job pins.
+    """
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def kaplan_meier(
+    death_days: Sequence[int], horizon_days: int
+) -> SurvivalCurve:
+    """Kaplan–Meier product-limit estimate from per-array death days.
+
+    Args:
+        death_days: One entry per array — the virtual day it died, or
+            ``-1`` if it survived to the horizon (right-censored).
+        horizon_days: Campaign length in virtual days.
+    """
+    deaths = np.asarray(death_days, dtype=np.int64)
+    n = len(deaths)
+    if n == 0:
+        raise ValueError("death_days must not be empty")
+    if horizon_days < 1:
+        raise ValueError("horizon_days must be positive")
+    observed = deaths[deaths >= 0]
+    if np.any(observed > horizon_days):
+        raise ValueError("death day beyond the horizon")
+    event_days, counts = np.unique(observed, return_counts=True)
+    at_risk: List[int] = []
+    survival: List[float] = []
+    alive = n
+    s = 1.0
+    for day, died in zip(event_days, counts):
+        at_risk.append(int(alive))
+        s *= 1.0 - died / alive
+        survival.append(float(s))
+        alive -= int(died)
+    return SurvivalCurve(
+        horizon_days=int(horizon_days),
+        days=[int(d) for d in event_days],
+        deaths=[int(c) for c in counts],
+        at_risk=at_risk,
+        survival=survival,
+    )
+
+
+def annual_replacement_rate(
+    death_days: Sequence[int], horizon_days: int
+) -> float:
+    """Expected replacements per array per year.
+
+    Deaths divided by observed array-days (each array contributes its
+    death day, or the full horizon when censored), scaled to a 365-day
+    year. This is the incidence-rate view operators budget spares with.
+    """
+    deaths = np.asarray(death_days, dtype=np.int64)
+    if len(deaths) == 0:
+        raise ValueError("death_days must not be empty")
+    exposure = np.where(deaths >= 0, deaths, horizon_days).astype(float)
+    # An array dying on day d was in service d days; clamp day-0 deaths
+    # to one day of exposure so the rate stays finite.
+    total_days = float(np.maximum(exposure, 1.0).sum())
+    n_deaths = int((deaths >= 0).sum())
+    return n_deaths / total_days * 365.0
+
+
+def binomial_tail(n: int, k: int, p: float) -> float:
+    """``P(Binomial(n, p) >= k)`` in log space — SciPy-free.
+
+    Exact summation of the upper tail; with ``n`` in the thousands this
+    is a few thousand lgamma calls, well inside planning-tool budgets.
+    """
+    if k <= 0:
+        return 1.0
+    if k > n:
+        return 0.0
+    if p <= 0.0:
+        return 0.0
+    if p >= 1.0:
+        return 1.0
+    log_p = math.log(p)
+    log_q = math.log1p(-p)
+    total = 0.0
+    for i in range(k, n + 1):
+        log_term = (
+            math.lgamma(n + 1)
+            - math.lgamma(i + 1)
+            - math.lgamma(n - i + 1)
+            + i * log_p
+            + (n - i) * log_q
+        )
+        total += math.exp(log_term)
+    return min(total, 1.0)
+
+
+def required_fleet_size(
+    demand_arrays: int, survival_probability: float, slo: float
+) -> int:
+    """Smallest fleet meeting demand at the horizon with SLO confidence.
+
+    The smallest ``n`` with ``P(Binomial(n, s) >= demand) >= slo`` —
+    found by doubling then bisecting, so the cost is logarithmic in the
+    answer.
+
+    Args:
+        demand_arrays: Arrays that must still be alive at the horizon.
+        survival_probability: Per-array ``S(horizon)`` from the curve.
+        slo: Required confidence, e.g. ``0.999``.
+    """
+    if demand_arrays < 0:
+        raise ValueError("demand_arrays must be non-negative")
+    if not 0.0 < slo < 1.0:
+        raise ValueError("slo must be in (0, 1)")
+    if demand_arrays == 0:
+        return 0
+    if survival_probability <= 0.0:
+        raise ValueError(
+            "no fleet size meets demand with zero survival probability"
+        )
+    lo, hi = demand_arrays, demand_arrays
+    while binomial_tail(hi, demand_arrays, survival_probability) < slo:
+        hi *= 2
+        if hi > 10**9:
+            raise ValueError("required fleet size exceeds 1e9 arrays")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if binomial_tail(mid, demand_arrays, survival_probability) >= slo:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def capacity_headroom(
+    n_arrays: int,
+    demand_arrays: int,
+    survival_probability: float,
+    slo: float,
+) -> Dict:
+    """SLO-driven provisioning summary for the fleet report.
+
+    Returns the required fleet size for the demand (see
+    :func:`required_fleet_size`), the headroom the current fleet carries
+    over it (negative = under-provisioned), and the probability the
+    current fleet meets demand at the horizon. With zero survival
+    probability and nonzero demand no finite fleet works; ``required``
+    and ``headroom`` come back ``None`` with ``meets_slo`` false rather
+    than raising — a fleet report must be buildable for any outcome.
+    """
+    if demand_arrays > 0 and survival_probability <= 0.0:
+        return {
+            "demand_arrays": int(demand_arrays),
+            "survival_probability": float(survival_probability),
+            "slo": float(slo),
+            "required_arrays": None,
+            "headroom_arrays": None,
+            "meets_slo": False,
+            "p_meet_demand": 0.0,
+        }
+    required = required_fleet_size(demand_arrays, survival_probability, slo)
+    return {
+        "demand_arrays": int(demand_arrays),
+        "survival_probability": float(survival_probability),
+        "slo": float(slo),
+        "required_arrays": int(required),
+        "headroom_arrays": int(n_arrays - required),
+        "meets_slo": bool(n_arrays >= required),
+        "p_meet_demand": float(
+            binomial_tail(n_arrays, demand_arrays, survival_probability)
+        ),
+    }

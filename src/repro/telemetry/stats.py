@@ -33,6 +33,10 @@ EVENT_FIELDS: Dict[str, frozenset] = {
     "job_retry": frozenset({"label", "attempt"}),
     "job_timeout": frozenset({"label", "timeout_s"}),
     "grid_progress": frozenset({"done", "total", "label"}),
+    "fleet_start": frozenset({"arrays", "days", "cohorts"}),
+    "fleet_day": frozenset({"day", "alive", "served"}),
+    "fleet_checkpoint": frozenset({"day"}),
+    "fleet_end": frozenset({"days", "alive", "deaths"}),
 }
 
 
@@ -113,6 +117,8 @@ def summarize_trace(records: Union[str, Iterable[Dict]]) -> Dict:
     cache_misses = 0
     retries = 0
     timeouts = 0
+    fleet_days = 0
+    fleet_checkpoints = 0
     sim_count = 0
     sim_iterations = 0
     sim_epochs = 0
@@ -143,6 +149,10 @@ def summarize_trace(records: Union[str, Iterable[Dict]]) -> Dict:
             retries += 1
         elif event == "job_timeout":
             timeouts += 1
+        elif event == "fleet_day":
+            fleet_days += 1
+        elif event == "fleet_checkpoint":
+            fleet_checkpoints += 1
         elif event == "simulation":
             sim_count += 1
             sim_iterations += int(record["iterations"])
@@ -167,6 +177,7 @@ def summarize_trace(records: Union[str, Iterable[Dict]]) -> Dict:
         "cache": {"hits": cache_hits, "misses": cache_misses},
         "retries": retries,
         "timeouts": timeouts,
+        "fleet": {"days": fleet_days, "checkpoints": fleet_checkpoints},
         "simulations": {
             "count": sim_count,
             "iterations": sim_iterations,
@@ -209,6 +220,13 @@ def format_stats(summary: Dict) -> str:
         )
         lines.append(
             f"retries: {summary['retries']}, timeouts: {summary['timeouts']}"
+        )
+    fleet = summary.get("fleet", {})
+    if fleet.get("days"):
+        lines.append("")
+        lines.append(
+            f"fleet: {fleet['days']} virtual day(s), "
+            f"{fleet['checkpoints']} checkpoint(s)"
         )
     sims = summary["simulations"]
     if sims["count"]:

@@ -122,6 +122,64 @@ class TestCommands:
             main(["heatmap", "--workload", "sorting"])
 
 
+FLEET_ARGS = [
+    "--rows", "128", "--cols", "128",
+    "fleet", "--arrays", "6", "--days", "3",
+    "--workloads", "add:2", "conv",
+    "--technology-mix", "MRAM", "RRAM",
+    "--traffic", "deterministic", "--rate", "100",
+    "--cohort-iterations", "100",
+]
+
+
+class TestFleetCommand:
+    def test_fleet_renders_report(self, capsys):
+        assert main(FLEET_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "fleet report" in out
+        assert "survival at horizon" in out
+        assert "report hash" in out
+
+    def test_fleet_json_output(self, capsys):
+        import json
+
+        assert main(FLEET_ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["days_simulated"] == 3
+        assert len(payload["death_days"]) == 6
+        assert "report_hash" in payload
+
+    def test_fleet_pause_and_resume_matches_straight_run(
+        self, capsys, tmp_path
+    ):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(FLEET_ARGS + ["--json"] + cache) == 0
+        straight = capsys.readouterr().out
+
+        argv = FLEET_ARGS + cache + [
+            "--checkpoint-dir", str(tmp_path / "ck"),
+        ]
+        assert main(argv + ["--stop-after-day", "2"]) == 0
+        assert "paused after day 2" in capsys.readouterr().out
+        assert main(argv + ["--json"]) == 0
+        resumed = capsys.readouterr().out
+
+        import json
+
+        assert (
+            json.loads(resumed)["report_hash"]
+            == json.loads(straight)["report_hash"]
+        )
+
+    def test_fleet_bad_mix_token_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--technology-mix", "MRAM:heavy"])
+
+    def test_fleet_stop_without_checkpoint_dir_rejected(self):
+        with pytest.raises(ValueError):
+            main(FLEET_ARGS + ["--stop-after-day", "1"])
+
+
 class TestEngineFlags:
     """--jobs / --cache-dir route grid commands through repro.engine."""
 
@@ -181,7 +239,7 @@ class TestEngineFlags:
 
 SIM_SUBCOMMANDS = (
     "heatmap", "fig17", "table3", "lifetime", "report", "export",
-    "deployment", "remap-sweep",
+    "deployment", "remap-sweep", "fleet",
 )
 
 

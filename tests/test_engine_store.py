@@ -152,3 +152,82 @@ class TestStoreSemantics:
             p for p in tmp_path.rglob("*") if "tmp" in p.name
         ]
         assert leftovers == []
+
+
+class TestManifestReadApi:
+    def test_load_manifest_round_trip(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        store.save(spec, result, wall_s=0.5)
+        manifest = store.load_manifest(spec)
+        assert manifest is not None
+        assert manifest["content_hash"] == spec.content_hash
+        assert manifest["seed"] == spec.seed
+        assert manifest["iterations"] == spec.iterations
+        assert manifest["wall_s"] == 0.5
+        assert "telemetry" in manifest
+
+    def test_load_manifest_missing_is_none(self, tmp_path, spec):
+        store = ResultStore(tmp_path)
+        assert store.load_manifest(spec) is None
+
+    def test_iter_manifests_streams_every_entry(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        store.save(spec, result, wall_s=0.5)
+        entries = dict(store.iter_manifests())
+        assert spec.content_hash in entries
+        assert entries[spec.content_hash] == store.load_manifest(spec)
+
+    def test_iter_manifests_skips_unreadable(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        store.save(spec, result)
+        store.manifest_for(spec).write_text("{broken json")
+        assert list(store.iter_manifests()) == []
+
+    def test_iter_manifests_is_sorted_and_deterministic(
+        self, tmp_path, spec, result
+    ):
+        store = ResultStore(tmp_path)
+        store.save(spec, result)
+        other = JobSpec(
+            workload=spec.workload,
+            architecture=spec.architecture,
+            config=spec.config,
+            iterations=spec.iterations,
+            seed=spec.seed + 1,
+        )
+        store.save(other, result)
+        first = [digest for digest, _ in store.iter_manifests()]
+        second = [digest for digest, _ in store.iter_manifests()]
+        assert first == second
+        assert set(first) == {spec.content_hash, other.content_hash}
+
+
+class TestSharding:
+    def test_shard_is_isolated_sub_store(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        shard = store.shard("mult-StxSt")
+        shard.save(spec, result)
+        assert shard.contains(spec)
+        assert not store.contains(spec)  # parent hashes() stays clean
+        assert len(store) == 0
+        assert shard.root == store.root / "shards" / "mult-StxSt"
+
+    def test_parent_iter_manifests_covers_shards(self, tmp_path, spec, result):
+        store = ResultStore(tmp_path)
+        store.shard("cohort-a").save(spec, result)
+        entries = dict(store.iter_manifests())
+        assert spec.content_hash in entries
+
+    def test_shard_names_are_slugged(self, tmp_path):
+        store = ResultStore(tmp_path)
+        shard = store.shard("conv/RaxBs+Hw")
+        assert shard.root.name == "conv_RaxBs_Hw"
+
+    def test_unusable_shard_name_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError, match="no usable characters"):
+            store.shard("///")
+
+    def test_shard_inherits_compression(self, tmp_path):
+        store = ResultStore(tmp_path, compress=True)
+        assert store.shard("a").compress is True

@@ -1,0 +1,137 @@
+"""Survival math: Kaplan–Meier, replacement rate, SLO provisioning."""
+
+import math
+
+import pytest
+
+from repro.fleet import (
+    SurvivalCurve,
+    annual_replacement_rate,
+    binomial_tail,
+    canonical_hash,
+    capacity_headroom,
+    kaplan_meier,
+    required_fleet_size,
+)
+
+
+class TestKaplanMeier:
+    def test_no_deaths_flat_curve(self):
+        curve = kaplan_meier([-1, -1, -1], horizon_days=10)
+        assert curve.days == []
+        assert curve.probability_at(10) == 1.0
+
+    def test_all_die_same_day(self):
+        curve = kaplan_meier([4, 4], horizon_days=10)
+        assert curve.days == [4]
+        assert curve.deaths == [2]
+        assert curve.at_risk == [2]
+        assert curve.survival == [0.0]
+        assert curve.probability_at(3) == 1.0
+        assert curve.probability_at(4) == 0.0
+
+    def test_staggered_deaths_product_limit(self):
+        # 4 arrays: deaths on day 2 and day 5, two survive.
+        curve = kaplan_meier([2, 5, -1, -1], horizon_days=7)
+        assert curve.days == [2, 5]
+        assert curve.at_risk == [4, 3]
+        # S(2) = 3/4; S(5) = 3/4 * 2/3 = 1/2.
+        assert curve.survival[0] == pytest.approx(0.75)
+        assert curve.survival[1] == pytest.approx(0.5)
+        # With full follow-up KM equals the empirical survivor function.
+        assert curve.probability_at(7) == pytest.approx(2 / 4)
+
+    def test_death_beyond_horizon_rejected(self):
+        with pytest.raises(ValueError, match="beyond the horizon"):
+            kaplan_meier([11], horizon_days=10)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            kaplan_meier([], horizon_days=10)
+
+    def test_curve_hash_is_stable_and_sensitive(self):
+        a = kaplan_meier([2, 5, -1, -1], horizon_days=7)
+        b = kaplan_meier([2, 5, -1, -1], horizon_days=7)
+        c = kaplan_meier([2, 6, -1, -1], horizon_days=7)
+        assert a.content_hash() == b.content_hash()
+        assert a.content_hash() != c.content_hash()
+
+    def test_to_json_round_trips_through_canonical_hash(self):
+        curve = kaplan_meier([1, -1], horizon_days=3)
+        assert curve.content_hash() == canonical_hash(curve.to_json())
+        assert isinstance(curve, SurvivalCurve)
+
+
+class TestReplacementRate:
+    def test_no_deaths_zero_rate(self):
+        assert annual_replacement_rate([-1, -1], 365) == 0.0
+
+    def test_one_death_mid_year(self):
+        # One array dies at day 100, one survives 365 days:
+        # 1 death over 465 array-days.
+        rate = annual_replacement_rate([100, -1], 365)
+        assert rate == pytest.approx(1 / 465 * 365)
+
+    def test_day_zero_death_is_clamped(self):
+        rate = annual_replacement_rate([0], 365)
+        assert math.isfinite(rate)
+
+
+class TestBinomialTail:
+    def test_edge_cases(self):
+        assert binomial_tail(10, 0, 0.5) == 1.0
+        assert binomial_tail(10, 11, 0.5) == 0.0
+        assert binomial_tail(10, 5, 0.0) == 0.0
+        assert binomial_tail(10, 5, 1.0) == 1.0
+
+    def test_matches_direct_sum(self):
+        n, p = 12, 0.7
+        for k in range(n + 1):
+            direct = sum(
+                math.comb(n, i) * p**i * (1 - p) ** (n - i)
+                for i in range(k, n + 1)
+            )
+            assert binomial_tail(n, k, p) == pytest.approx(direct, abs=1e-12)
+
+
+class TestProvisioning:
+    def test_perfect_survival_needs_exactly_demand(self):
+        assert required_fleet_size(10, 1.0, 0.999) == 10
+
+    def test_lossy_survival_needs_headroom(self):
+        n = required_fleet_size(10, 0.9, 0.999)
+        assert n > 10
+        assert binomial_tail(n, 10, 0.9) >= 0.999
+        assert binomial_tail(n - 1, 10, 0.9) < 0.999
+
+    def test_zero_demand_needs_nothing(self):
+        assert required_fleet_size(0, 0.5, 0.999) == 0
+
+    def test_zero_survival_raises(self):
+        with pytest.raises(ValueError, match="zero survival"):
+            required_fleet_size(1, 0.0, 0.999)
+
+    def test_headroom_summary(self):
+        summary = capacity_headroom(20, 10, 0.9, 0.99)
+        assert summary["required_arrays"] >= 10
+        assert summary["headroom_arrays"] == 20 - summary["required_arrays"]
+        assert summary["meets_slo"] == (summary["headroom_arrays"] >= 0)
+        assert 0.0 <= summary["p_meet_demand"] <= 1.0
+
+    def test_headroom_degrades_gracefully_at_zero_survival(self):
+        summary = capacity_headroom(20, 10, 0.0, 0.99)
+        assert summary["required_arrays"] is None
+        assert summary["meets_slo"] is False
+        assert summary["p_meet_demand"] == 0.0
+
+
+class TestCanonicalHash:
+    def test_key_order_insensitive(self):
+        assert canonical_hash({"a": 1, "b": 2}) == canonical_hash(
+            {"b": 2, "a": 1}
+        )
+
+    def test_float_repr_exactness(self):
+        x = 0.1 + 0.2
+        assert canonical_hash({"v": x}) == canonical_hash({"v": x})
+        assert canonical_hash({"v": x}) != canonical_hash({"v": 0.3})

@@ -25,6 +25,10 @@ REPRO_ALL = {
     "failure_timeline", "minimum_footprint",
     # devices
     "Technology", "MRAM", "RRAM", "PCM", "technology_by_name",
+    # fleet
+    "CohortSpec", "FleetReport", "FleetService", "FleetSpec",
+    "PopulationSpec", "SurvivalCurve", "TrafficSpec", "kaplan_meier",
+    "run_campaign",
     # gates
     "GateOp", "GateLibrary", "NAND_LIBRARY", "MINIMAL_LIBRARY",
     # workloads
@@ -54,6 +58,18 @@ ENGINE_ALL = {
     "run_simulation",
 }
 
+FLEET_ALL = {
+    "BUDGET_STREAM", "CHECKPOINT_VERSION", "CheckpointManager",
+    "CohortSpec", "DISPATCH_POLICIES", "FleetReport", "FleetService",
+    "FleetSpec", "Population", "PopulationSpec", "SurvivalCurve",
+    "TRAFFIC_MODELS", "TRAFFIC_STREAM", "TrafficSpec", "TrafficState",
+    "WORKLOAD_FACTORIES", "annual_replacement_rate", "binomial_tail",
+    "canonical_hash", "capacity_headroom", "capacity_iterations",
+    "draw_day", "format_report", "interleaved_assignment",
+    "kaplan_meier", "proportional_counts", "required_fleet_size",
+    "run_campaign", "split_requests",
+}
+
 TELEMETRY_ALL = {
     "CaptureSink", "EVENT_FIELDS", "JsonlSink", "LoggingSink",
     "ProgressSink", "Sink", "Telemetry", "TraceSchemaError", "capture",
@@ -67,6 +83,7 @@ TELEMETRY_ALL = {
     [
         ("repro", REPRO_ALL),
         ("repro.engine", ENGINE_ALL),
+        ("repro.fleet", FLEET_ALL),
         ("repro.telemetry", TELEMETRY_ALL),
         ("repro.verify", VERIFY_ALL),
     ],
