@@ -53,8 +53,10 @@ from repro.core.report import (
     format_table2,
     format_table3,
 )
+from repro.core.backend import BACKENDS
 from repro.core.settings import SimulationSettings
 from repro.core.simulator import EnduranceSimulator
+from repro.verify import VerificationError
 from repro.core.sweep import (
     best_improvement,
     configuration_grid,
@@ -116,6 +118,8 @@ def _make_settings(args) -> SimulationSettings:
         seed=args.seed,
         kernel=getattr(args, "kernel", "batched"),
         chunk_size=getattr(args, "chunk_size", None),
+        backend=getattr(args, "backend", "numpy"),
+        fastforward=getattr(args, "fast_forward", False),
         log_level=getattr(args, "log_level", None),
         trace_path=getattr(args, "trace", None),
         progress=getattr(args, "progress", False),
@@ -182,6 +186,16 @@ def _add_sim_flags(parser) -> None:
     parser.add_argument(
         "--chunk-size", type=int, default=argparse.SUPPRESS,
         help="epochs per GEMM for the batched kernel",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default=argparse.SUPPRESS,
+        help="array backend for the hot paths (falls back to numpy "
+             "when the optional backend is not installed)",
+    )
+    parser.add_argument(
+        "--fast-forward", action="store_true", default=argparse.SUPPRESS,
+        help="use the analytic steady-state fast-forward on eligible "
+             "(St/Bs/B1) configs; ineligible configs are refused (RPR011)",
     )
     parser.add_argument(
         "--log-level", choices=_LOG_LEVEL_CHOICES,
@@ -463,6 +477,8 @@ def cmd_fleet(args) -> int:
         cohort_iterations=args.cohort_iterations,
         kernel=settings.kernel,
         chunk_size=settings.chunk_size,
+        backend=settings.backend,
+        fastforward=settings.fastforward,
     )
     cache_dir = getattr(args, "cache_dir", None)
     service = FleetService(
@@ -592,6 +608,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-size", type=int, default=None,
         help="epochs per GEMM for the batched kernel (speed/memory knob; "
              "never changes results)",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default="numpy",
+        help="array backend for the hot paths: numpy (default), cupy, "
+             "or numba; optional backends fall back to numpy (with a "
+             "telemetry event) when not installed",
+    )
+    parser.add_argument(
+        "--fast-forward", action="store_true", default=False,
+        help="extrapolate steady-state wear analytically instead of "
+             "simulating every epoch; bit-identical on eligible "
+             "(St/Bs/B1) configs, refused (RPR011) otherwise",
     )
     parser.add_argument(
         "--log-level", choices=_LOG_LEVEL_CHOICES, default=None,
@@ -836,7 +864,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     sinks = _configure_telemetry(args)
     tele = get_telemetry()
     try:
-        status = args.func(args)
+        try:
+            status = args.func(args)
+        except VerificationError as error:
+            # Pre-dispatch verification failures (e.g. RPR011: a config
+            # the fast-forward must refuse) are user errors, not bugs —
+            # render the report, not a traceback.
+            print(error.report.render_text(), file=sys.stderr)
+            return 1
     finally:
         for sink in sinks:
             if sink in tele.sinks:

@@ -1,0 +1,275 @@
+"""The array-API backend seam for the hot simulation paths.
+
+The batched epoch kernel (chunked GEMM, E30), the compiled SWAR
+evaluator (uint64 bitplanes, E32), and :meth:`ArrayState.add_lane_profiles`
+are all "one ``np.`` namespace away" from accelerators: every hot
+operation they need is in the array-API subset that NumPy, CuPy, and a
+numba-wrapped NumPy expose identically. :func:`get_backend` resolves a
+backend name from :class:`~repro.core.settings.SimulationSettings.backend`
+into a :class:`Backend` — a small namespace carrying the ~15 operations
+those paths use, plus a per-backend :class:`BufferPool` for reusable
+scratch.
+
+Two contracts keep this safe:
+
+* **numpy is pure delegation.** The ``"numpy"`` backend forwards every
+  op to :mod:`numpy` unchanged, so routing a path through the seam
+  cannot perturb results — bit-identity with the pre-seam code holds by
+  construction and is property-tested anyway.
+* **optional backends degrade gracefully.** ``"cupy"`` and ``"numba"``
+  are optional imports; when the module is missing, :func:`get_backend`
+  emits a ``backend_fallback`` telemetry event (and counts
+  ``backend.fallbacks``) and returns a numpy-semantics backend that
+  still records what was requested. Simulations never fail because an
+  accelerator library is absent.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.telemetry import get_telemetry
+
+#: Selectable execution backends. ``numpy`` is the default and the
+#: bit-identity reference; ``cupy``/``numba`` are optional accelerators
+#: that fall back to numpy semantics when their imports are missing.
+BACKENDS = ("numpy", "cupy", "numba")
+
+
+class BufferPool:
+    """Named, shape-keyed reusable scratch buffers.
+
+    ``get(name, shape, dtype)`` returns the *same* array for the same
+    ``(name, shape, dtype)`` triple on every call, so per-chunk and
+    per-batch workspaces stop allocating. Callers own the discipline:
+    a pooled buffer must be fully overwritten (or requested with
+    ``zero=True``) before use and must never escape to a consumer that
+    outlives the next ``get`` of the same slot.
+    """
+
+    def __init__(self, xp=np) -> None:
+        self.xp = xp
+        self._slots: Dict[Tuple, "np.ndarray"] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, name: str, shape, dtype=np.float64, zero: bool = False):
+        """The pooled buffer for ``(name, shape, dtype)``.
+
+        Args:
+            name: Slot name; the same name may serve several shapes
+                (e.g. a final short chunk) — each gets its own buffer.
+            shape: Required array shape.
+            dtype: Required dtype.
+            zero: Zero-fill the buffer before returning it. Without it
+                the contents are whatever the previous use left — only
+                safe when the caller overwrites every element.
+        """
+        key = (name, tuple(int(s) for s in shape), np.dtype(dtype).str)
+        buffer = self._slots.get(key)
+        if buffer is None:
+            self.misses += 1
+            buffer = self.xp.empty(shape, dtype=dtype)
+            self._slots[key] = buffer
+        else:
+            self.hits += 1
+        if zero:
+            buffer[...] = 0
+        return buffer
+
+    def clear(self) -> None:
+        """Drop every pooled buffer (frees the memory)."""
+        self._slots.clear()
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+
+class Backend:
+    """The operations the hot paths need, bound to one array library.
+
+    Attributes:
+        name: The library actually in use (``"numpy"`` after a
+            fallback).
+        requested: The name the caller asked for (differs from ``name``
+            exactly when the optional import failed).
+        xp: The backing array module (:mod:`numpy` or ``cupy``).
+        pool: A :class:`BufferPool` allocating on ``xp``.
+    """
+
+    def __init__(self, name: str, xp=np, requested: Optional[str] = None) -> None:
+        self.name = name
+        self.requested = requested if requested is not None else name
+        self.xp = xp
+        self.pool = BufferPool(xp)
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def is_numpy(self) -> bool:
+        """True when results live in host numpy arrays already."""
+        return self.xp is np
+
+    @property
+    def fell_back(self) -> bool:
+        """True when the requested accelerator was unavailable."""
+        return self.requested != self.name
+
+    # -- array constructors ---------------------------------------------
+
+    def asarray(self, a, dtype=None):
+        """``xp.asarray`` — wrap/transfer without copying when possible."""
+        return self.xp.asarray(a, dtype=dtype)
+
+    def zeros(self, shape, dtype=np.float64):
+        """``xp.zeros`` — a zero-filled array on the backend."""
+        return self.xp.zeros(shape, dtype=dtype)
+
+    def empty(self, shape, dtype=np.float64):
+        """``xp.empty`` — an uninitialized array on the backend."""
+        return self.xp.empty(shape, dtype=dtype)
+
+    def full(self, shape, fill_value, dtype=None):
+        """``xp.full`` — a constant-filled array on the backend."""
+        return self.xp.full(shape, fill_value, dtype=dtype)
+
+    def arange(self, *args, dtype=None):
+        """``xp.arange`` — an index range on the backend."""
+        return self.xp.arange(*args, dtype=dtype)
+
+    # -- the hot operations ---------------------------------------------
+
+    def argsort(self, a, axis=-1):
+        """``xp.argsort`` — the sorting permutation along an axis."""
+        return self.xp.argsort(a, axis=axis)
+
+    def matmul(self, a, b, out=None):
+        """``xp.matmul`` — matrix product (optionally into ``out``)."""
+        return self.xp.matmul(a, b, out=out)
+
+    def gemm(self, a, b, out=None):
+        """``a @ b`` — the chunk-reduction GEMM of the epoch algebra."""
+        return self.xp.matmul(a, b, out=out)
+
+    def outer(self, a, b, out=None):
+        """``xp.multiply.outer`` — the outer product."""
+        return self.xp.multiply.outer(a, b, out=out)
+
+    def bincount(self, a, weights=None, minlength=0):
+        """``xp.bincount`` — weighted occurrence counts."""
+        return self.xp.bincount(a, weights=weights, minlength=minlength)
+
+    def cumsum(self, a, axis=None, out=None):
+        """``xp.cumsum`` — the running sum along an axis."""
+        return self.xp.cumsum(a, axis=axis, out=out)
+
+    def unique(self, a, return_inverse=False):
+        """``xp.unique`` — sorted distinct values."""
+        return self.xp.unique(a, return_inverse=return_inverse)
+
+    def packbits(self, a, axis=None, bitorder="big"):
+        """``xp.packbits`` — pack 0/1 values into uint8 bytes."""
+        return self.xp.packbits(a, axis=axis, bitorder=bitorder)
+
+    def unpackbits(self, a, axis=None, count=None, bitorder="big"):
+        """``xp.unpackbits`` — unpack uint8 bytes into 0/1 values."""
+        return self.xp.unpackbits(a, axis=axis, count=count, bitorder=bitorder)
+
+    def broadcast_to(self, a, shape):
+        """``xp.broadcast_to`` — a read-only broadcast view."""
+        return self.xp.broadcast_to(a, shape)
+
+    def to_numpy(self, a) -> np.ndarray:
+        """``a`` as a host numpy array (no copy when already one)."""
+        if isinstance(a, np.ndarray):
+            return a
+        get = getattr(self.xp, "asnumpy", None)
+        if get is not None:  # cupy
+            return get(a)
+        return np.asarray(a)
+
+
+def _try_import(module_name: str):
+    """Import hook for optional backends (monkeypatched in tests)."""
+    return importlib.import_module(module_name)
+
+
+def _make_backend(name: str) -> Backend:
+    if name == "numpy":
+        return Backend("numpy")
+    try:
+        module = _try_import(name)
+    except ImportError as error:
+        tele = get_telemetry()
+        tele.count("backend.fallbacks")
+        tele.emit(
+            "backend_fallback",
+            requested=name,
+            fallback="numpy",
+            reason=str(error),
+        )
+        return Backend("numpy", requested=name)
+    if name == "cupy":
+        return Backend("cupy", xp=module)
+    # numba accelerates loops over numpy arrays rather than replacing the
+    # array namespace; its backend keeps numpy semantics (bit-identity by
+    # construction) while advertising that the JIT library is present.
+    return Backend("numba")
+
+
+_backend_cache: Dict[str, Backend] = {}
+
+
+def get_backend(name: str = "numpy") -> Backend:
+    """Resolve a backend name to a (cached) :class:`Backend`.
+
+    Unknown names raise; known-but-unavailable backends fall back to
+    numpy semantics with a ``backend_fallback`` telemetry event (emitted
+    once per process per name — instances are cached).
+    """
+    if name not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {name!r}")
+    backend = _backend_cache.get(name)
+    if backend is None:
+        backend = _make_backend(name)
+        _backend_cache[name] = backend
+    return backend
+
+
+def reset_backend_cache() -> None:
+    """Drop cached backends (for tests exercising the fallback path)."""
+    _backend_cache.clear()
+
+
+def blas_implementation() -> str:
+    """A short label for the BLAS numpy was built against.
+
+    Recorded in per-run manifests so performance regressions are
+    attributable across machines. Best-effort: returns ``"unknown"``
+    when numpy's build metadata is not introspectable.
+    """
+    try:
+        info = np.show_config(mode="dicts")
+    except TypeError:  # numpy < 1.25 has no mode= parameter
+        info = None
+    if isinstance(info, dict):
+        blas = info.get("Build Dependencies", {}).get("blas", {})
+        name = blas.get("name")
+        if name:
+            version = blas.get("version")
+            return f"{name} {version}" if version else str(name)
+    config = getattr(np, "__config__", None)
+    if config is not None:
+        for key in (
+            "openblas64__info",
+            "openblas_info",
+            "blas_mkl_info",
+            "blis_info",
+            "blas_opt_info",
+        ):
+            if getattr(config, key, None):
+                return key[: -len("_info")]
+    return "unknown"

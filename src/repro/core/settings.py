@@ -22,6 +22,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.core.accuracy import EVALUATORS
+from repro.core.backend import BACKENDS
 from repro.core.kernel import KERNELS
 
 _LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
@@ -44,6 +45,16 @@ class SimulationSettings:
             bitplane batches) or ``"interpreted"`` (per-instruction
             loop). Bit-identical results; a pure speed knob, so it is
             excluded from job content hashes like the kernel knobs.
+        backend: Array backend for the hot paths — ``"numpy"``
+            (default), ``"cupy"``, or ``"numba"``. Optional backends
+            fall back to numpy semantics (with a telemetry event) when
+            their import is missing; results are backend-independent,
+            so this is hash-excluded like the kernel knobs.
+        fastforward: Use the analytic steady-state fast-forward
+            (:mod:`repro.core.fastforward`) instead of simulating every
+            epoch. Bit-identical on eligible (periodic St/Bs/B1)
+            configs; ineligible configs are refused via diagnostic
+            RPR011. Hash-excluded — it can never change results.
         track_reads: Accumulate the read distribution too (disable to
             halve accumulation cost on large sweeps).
         log_level: Telemetry: stdlib-logging level name to bridge events
@@ -56,6 +67,8 @@ class SimulationSettings:
     kernel: str = "batched"
     chunk_size: Optional[int] = None
     evaluator: str = "compiled"
+    backend: str = "numpy"
+    fastforward: bool = False
     track_reads: bool = True
     log_level: Optional[str] = None
     trace_path: Optional[str] = None
@@ -70,6 +83,10 @@ class SimulationSettings:
             raise ValueError(
                 f"evaluator must be one of {EVALUATORS}, "
                 f"got {self.evaluator!r}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
         if (
             self.log_level is not None

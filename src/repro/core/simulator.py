@@ -35,11 +35,18 @@ from repro.array.state import ArrayState
 from repro.balance.config import BalanceConfig
 from repro.balance.hardware import HardwareRemapper
 from repro.balance.software import StrategyKind, wear_aware_permutation
+from repro.core.backend import get_backend
+from repro.core.fastforward import run_fastforward_epochs
 from repro.core.kernel import make_epoch_maps, run_batched_epochs
 from repro.core.settings import SimulationSettings
 from repro.core.writedist import WriteDistribution
 from repro.telemetry import get_telemetry
-from repro.verify import VerificationError, verify_mapping
+from repro.verify import (
+    VerificationError,
+    VerifyReport,
+    check_fastforward,
+    verify_mapping,
+)
 from repro.workloads.base import Workload, WorkloadMapping
 
 
@@ -202,8 +209,16 @@ class EnduranceSimulator:
         start = time.perf_counter()
         mapping = self._mapping_for(workload)
         self._verify(mapping, config)
+        if effective.fastforward:
+            # Refuse, never approximate: non-periodic configs (Ra, Wa)
+            # have no steady state to extrapolate (diagnostic RPR011).
+            report = VerifyReport(check_fastforward(config))
+            if report.errors:
+                raise VerificationError(report)
         architecture = self.architecture
+        backend = get_backend(effective.backend)
         state = ArrayState(architecture.geometry)
+        state.set_backend(backend)
         rng = np.random.default_rng(effective.seed)
 
         remappers: Dict[int, HardwareRemapper] = {}
@@ -220,7 +235,18 @@ class EnduranceSimulator:
             else None
         )
         with tele.timed_phase("kernel", kernel=effective.kernel):
-            if effective.kernel == "batched":
+            if effective.fastforward:
+                epochs = run_fastforward_epochs(
+                    architecture,
+                    config,
+                    state,
+                    groups,
+                    iterations,
+                    remappers=remappers if config.hardware else None,
+                    track_reads=effective.track_reads,
+                    backend=backend,
+                )
+            elif effective.kernel == "batched":
                 epochs = run_batched_epochs(
                     architecture,
                     config,
@@ -232,6 +258,7 @@ class EnduranceSimulator:
                     lane_loads=lane_loads,
                     track_reads=effective.track_reads,
                     chunk_size=effective.chunk_size,
+                    backend=backend,
                 )
             else:
                 epochs = self._run_epoch_loop(

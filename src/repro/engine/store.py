@@ -17,6 +17,9 @@ import zipfile
 from pathlib import Path
 from typing import Iterator, Optional, Tuple, Union
 
+import numpy as np
+
+from repro.core.backend import blas_implementation
 from repro.core.io import LoadedResult, load_result, save_result
 from repro.core.simulator import SimulationResult
 from repro.engine.spec import JobSpec
@@ -114,10 +117,11 @@ class ResultStore:
         """Write the run manifest next to the entry (atomic, best-effort).
 
         The manifest records how the result was produced — spec hash,
-        seed, kernel, chunk size, wall time — plus a snapshot of the
-        producing process's telemetry aggregates. In pool mode that is
-        the worker's own registry, so the snapshot describes (at least)
-        exactly the runs that worker performed.
+        seed, kernel, chunk size, backend, numpy/BLAS provenance, wall
+        time — plus a snapshot of the producing process's telemetry
+        aggregates. In pool mode that is the worker's own registry, so
+        the snapshot describes (at least) exactly the runs that worker
+        performed.
         """
         manifest = {
             "content_hash": spec.content_hash,
@@ -125,6 +129,10 @@ class ResultStore:
             "seed": spec.seed,
             "kernel": spec.kernel,
             "chunk_size": spec.chunk_size,
+            "backend": getattr(spec, "backend", "numpy"),
+            "fastforward": getattr(spec, "fastforward", False),
+            "numpy_version": np.__version__,
+            "blas": blas_implementation(),
             "iterations": spec.iterations,
             "track_reads": spec.track_reads,
             "wall_s": wall_s,

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.array.architecture import default_architecture
 from repro.balance.config import BalanceConfig
+from repro.core.backend import get_backend
 from repro.core.failure import minimum_footprint
 from repro.engine.runner import ExperimentEngine, require_ok
 from repro.engine.spec import JobSpec
@@ -93,6 +94,12 @@ class FleetSpec:
         cohort_iterations: Iterations for each cohort's wear simulation.
         kernel: Simulation kernel (hash-excluded).
         chunk_size: Batched-kernel chunk size (hash-excluded).
+        backend: Array backend for cohort calibration and the day loop's
+            vector math (hash-excluded; falls back to numpy when the
+            optional backend is unavailable).
+        fastforward: Calibrate cohorts through the analytic steady-state
+            fast-forward when their configs are eligible (hash-excluded;
+            bit-identical where accepted, refused via RPR011 otherwise).
     """
 
     population: PopulationSpec = PopulationSpec()
@@ -107,6 +114,8 @@ class FleetSpec:
     cohort_iterations: int = 2000
     kernel: str = "batched"
     chunk_size: Optional[int] = None
+    backend: str = "numpy"
+    fastforward: bool = False
 
     def __post_init__(self) -> None:
         if self.days < 1:
@@ -122,6 +131,11 @@ class FleetSpec:
             raise ValueError("slo must be in (0, 1)")
         if self.cohort_iterations < 1:
             raise ValueError("cohort_iterations must be positive")
+        if self.backend not in ("numpy", "cupy", "numba"):
+            raise ValueError(
+                f"backend must be 'numpy', 'cupy', or 'numba', "
+                f"got {self.backend!r}"
+            )
 
     def identity(self) -> dict:
         """The canonical JSON-able dict the content hash covers."""
@@ -220,6 +234,11 @@ class FleetService:
         self.jobs = jobs
         self.population = Population.build(spec.population)
         self.architecture = default_architecture(spec.rows, spec.cols)
+        # The day loop's vector math runs on the selected backend's
+        # array namespace (numpy itself unless an optional backend is
+        # installed); campaign state stays host-side either way.
+        self.backend = get_backend(spec.backend)
+        self._xp = self.backend.xp
 
     # -- phase 1: cohort calibration ------------------------------------
 
@@ -234,6 +253,8 @@ class FleetService:
                 seed=self.spec.seed,
                 kernel=self.spec.kernel,
                 chunk_size=self.spec.chunk_size,
+                backend=self.spec.backend,
+                fastforward=self.spec.fastforward,
             )
             for cohort in self.spec.population.cohorts
         ]
@@ -309,21 +330,24 @@ class FleetService:
         capacities: np.ndarray,
     ) -> float:
         """Allocate one cohort-day of demand; returns iterations served."""
-        caps = capacities[alive]
+        xp = self._xp
+        # asarray is a no-copy pass-through on numpy and the host-to-
+        # device transfer on an installed device backend.
+        caps = xp.asarray(capacities[alive])
         if self.spec.dispatch == "even":
-            allocation = np.minimum(demand_iterations / len(alive), caps)
+            allocation = xp.minimum(demand_iterations / len(alive), caps)
         else:  # least_worn
-            headroom = np.maximum(
-                thresholds[alive] - state.cumulative[alive], 0.0
+            headroom = xp.maximum(
+                xp.asarray(thresholds[alive] - state.cumulative[alive]), 0.0
             )
             total = headroom.sum()
             if total <= 0:
                 # Everyone is at the brink; fall back to an even split.
-                share = np.full(len(alive), 1.0 / len(alive))
+                share = xp.full(len(alive), 1.0 / len(alive))
             else:
                 share = headroom / total
-            allocation = np.minimum(demand_iterations * share, caps)
-        state.cumulative[alive] += allocation
+            allocation = xp.minimum(demand_iterations * share, caps)
+        state.cumulative[alive] += self.backend.to_numpy(allocation)
         return float(allocation.sum())
 
     def run(

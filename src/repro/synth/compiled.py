@@ -329,6 +329,7 @@ class CompiledProgram:
             Dict[int, int], Sequence[Dict[int, int]], None
         ] = None,
         draws: Optional[int] = None,
+        backend=None,
     ) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
         """Evaluate N operand draws at once on uint64 bitplanes.
 
@@ -346,6 +347,11 @@ class CompiledProgram:
                 gets ``stuck[n]``).
             draws: Batch size, required only when the program takes no
                 operands and no externals.
+            backend: Optional :class:`repro.core.backend.Backend` whose
+                buffer pool supplies the scratch planes (memory, ready
+                flags, read-out planes, write values); ``None`` uses the
+                process-default backend. A pure allocation knob —
+                results are bit-identical either way.
 
         Returns:
             ``(outputs, readouts)`` — output name to a length-N object
@@ -375,16 +381,27 @@ class CompiledProgram:
             stuck, n, words
         )
 
-        memory = np.zeros((program.footprint, words), dtype=np.uint64)
+        if backend is None:
+            from repro.core.backend import get_backend
+
+            backend = get_backend()
+        pool = backend.pool
+        # Pooled scratch: requested zeroed so reuse matches the fresh
+        # np.zeros semantics (scratch/zero-const writes rely on it).
+        memory = pool.get(
+            "eval.memory", (program.footprint, words), np.uint64, zero=True
+        )
         if stuck_mask is not None:
             memory |= stuck_bits
-        ready = (
-            stuck_all.copy()
-            if stuck_all is not None
-            else np.zeros(program.footprint, dtype=bool)
+        ready = pool.get(
+            "eval.ready", (program.footprint,), bool, zero=True
         )
+        if stuck_all is not None:
+            np.copyto(ready, stuck_all)
         readout_planes = {
-            tag: np.zeros((size, words), dtype=np.uint64)
+            tag: pool.get(
+                f"eval.readout.{tag}", (size, words), np.uint64, zero=True
+            )
             for tag, size in self.readout_sizes.items()
         }
         tag_names = {tid: tag for tag, tid in self._tag_ids.items()}
@@ -398,6 +415,12 @@ class CompiledProgram:
                     external_widths,
                     tag_names,
                     words,
+                    out=pool.get(
+                        "eval.values",
+                        (segment.addresses.size, words),
+                        np.uint64,
+                        zero=True,
+                    ),
                 )
                 self._store(
                     memory, segment.addresses, values,
@@ -445,6 +468,7 @@ class CompiledProgram:
         operands: Optional[Dict[str, Sequence[int]]] = None,
         externals: Optional[Dict[str, Sequence[Sequence[int]]]] = None,
         draws: Optional[int] = None,
+        backend=None,
     ) -> np.ndarray:
         """Per-address state-change counts over N sequential iterations.
 
@@ -474,8 +498,20 @@ class CompiledProgram:
         )
         tag_names = {tid: tag for tag, tid in self._tag_ids.items()}
 
-        memory = np.zeros((program.footprint, words), dtype=np.uint64)
-        ready = np.zeros(program.footprint, dtype=bool)
+        if backend is None:
+            from repro.core.backend import get_backend
+
+            backend = get_backend()
+        pool = backend.pool
+        memory = pool.get(
+            "eval.memory", (program.footprint, words), np.uint64, zero=True
+        )
+        ready = pool.get(
+            "eval.ready", (program.footprint,), bool, zero=True
+        )
+        # The event log below retains references to each write's value
+        # rows across the whole batch, so _write_values must NOT reuse a
+        # pooled buffer here (out=None keeps every call's rows alive).
         events_by_address: Dict[int, List[np.ndarray]] = {}
 
         def record(addresses: np.ndarray, values: np.ndarray) -> None:
@@ -622,10 +658,19 @@ class CompiledProgram:
 
     def _write_values(
         self, segment, operand_planes, external_planes,
-        external_widths, tag_names, words,
+        external_widths, tag_names, words, out=None,
     ) -> np.ndarray:
+        # ``out`` must be zero-filled by the caller; rows the loop skips
+        # (scratch writes, zero constants) are meant to stay 0. Callers
+        # that retain row references across calls (switch_counts_batch's
+        # event log) must leave ``out=None`` so each call gets a fresh
+        # buffer.
         operand_names = list(self.program.inputs)
-        values = np.zeros((segment.addresses.size, words), dtype=np.uint64)
+        values = (
+            out
+            if out is not None
+            else np.zeros((segment.addresses.size, words), dtype=np.uint64)
+        )
         for row in range(segment.addresses.size):
             kind = segment.kinds[row]
             if kind == SRC_SCRATCH:

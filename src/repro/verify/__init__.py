@@ -32,6 +32,7 @@ from repro.verify.diagnostics import (
 )
 from repro.verify.wear import (
     check_config,
+    check_fastforward,
     check_permutation_rows,
     check_profile_conservation,
     check_schedule,
@@ -48,6 +49,7 @@ __all__ = [
     "check_bounds",
     "check_config",
     "check_dataflow",
+    "check_fastforward",
     "check_level_segments",
     "check_levels",
     "check_permutation_rows",

@@ -35,6 +35,7 @@ from repro.verify.diagnostics import (
 )
 from repro.verify.wear import (
     check_config,
+    check_fastforward,
     check_profile_conservation,
     check_schedule,
 )
@@ -271,6 +272,13 @@ def verify_spec(spec) -> VerifyReport:
     simulates wear rather than values.
     """
     mapping = spec.workload.build(spec.architecture)
-    return verify_mapping(
+    report = verify_mapping(
         mapping, getattr(spec, "config", None), functional=False
     )
+    config = getattr(spec, "config", None)
+    if config is not None and getattr(spec, "fastforward", False):
+        # A spec that asks for the analytic fast-forward must also pass
+        # the RPR011 eligibility gate — the engine rejects it up front
+        # instead of failing (or worse, approximating) mid-dispatch.
+        report = report.merged(VerifyReport(check_fastforward(config)))
+    return report

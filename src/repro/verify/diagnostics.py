@@ -47,6 +47,7 @@ CODES: Dict[str, str] = {
     "RPR008": "schedule violates the lane-load bounds",
     "RPR009": "hardware re-mapping has no spare bit",
     "RPR010": "invalid balance configuration",
+    "RPR011": "configuration not eligible for steady-state fast-forward",
 }
 
 

@@ -253,6 +253,7 @@ class TestFlagAudit:
             command,
             "--jobs", "2", "--cache-dir", "x",
             "--seed", "9", "--kernel", "epoch", "--chunk-size", "64",
+            "--backend", "numpy", "--fast-forward",
             "--log-level", "info", "--trace", "t.jsonl", "--progress",
         ])
         assert args.jobs == 2
@@ -260,6 +261,8 @@ class TestFlagAudit:
         assert args.seed == 9
         assert args.kernel == "epoch"
         assert args.chunk_size == 64
+        assert args.backend == "numpy"
+        assert args.fast_forward is True
         assert args.log_level == "info"
         assert args.trace == "t.jsonl"
         assert args.progress is True
@@ -270,11 +273,36 @@ class TestFlagAudit:
         parser = build_parser()
         args = parser.parse_args(
             ["--seed", "9", "--kernel", "epoch", "--trace", "t.jsonl",
-             command]
+             "--backend", "numba", "--fast-forward", command]
         )
         assert args.seed == 9
         assert args.kernel == "epoch"
         assert args.trace == "t.jsonl"
+        assert args.backend == "numba"
+        assert args.fast_forward is True
+
+
+class TestFastForwardFlag:
+    def test_eligible_config_renders_identically(self, capsys):
+        args = ["--rows", "256", "--cols", "64", "heatmap",
+                "--workload", "mult", "--config", "BsxBs",
+                "--iterations", "40"]
+        assert main(args) == 0
+        slow = capsys.readouterr().out
+        assert main(["--fast-forward", *args[:4], *args[4:]]) == 0
+        fast = capsys.readouterr().out
+        assert fast == slow
+
+    def test_ineligible_config_refused_cleanly(self, capsys):
+        status = main([
+            "--rows", "256", "--cols", "64", "--fast-forward",
+            "heatmap", "--workload", "mult", "--config", "RaxRa",
+            "--iterations", "40",
+        ])
+        captured = capsys.readouterr()
+        assert status == 1
+        assert "RPR011" in captured.err
+        assert "Traceback" not in captured.err
 
 
 class TestTelemetryFlags:

@@ -1,0 +1,215 @@
+"""The backend seam: delegation identity, pooling, graceful fallback."""
+
+from __future__ import annotations
+
+import builtins
+
+import numpy as np
+import pytest
+
+from repro.core.backend import (
+    BACKENDS,
+    Backend,
+    BufferPool,
+    blas_implementation,
+    get_backend,
+    reset_backend_cache,
+)
+from repro.core.fastforward import PERIODIC_KINDS
+from repro.core.settings import SimulationSettings
+from repro.telemetry import CaptureSink, get_telemetry
+from repro.verify.wear import _FASTFORWARD_KINDS
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test resolves backends from a clean cache."""
+    reset_backend_cache()
+    yield
+    reset_backend_cache()
+
+
+class TestNumpyDelegation:
+    """The numpy backend must be a pure pass-through to numpy."""
+
+    def test_default_is_numpy(self):
+        backend = get_backend()
+        assert backend.name == "numpy"
+        assert backend.requested == "numpy"
+        assert backend.is_numpy
+        assert not backend.fell_back
+        assert backend.xp is np
+
+    def test_ops_match_numpy(self):
+        backend = get_backend("numpy")
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 50, size=(6, 4)).astype(float)
+        b = rng.integers(0, 50, size=(4, 5)).astype(float)
+        assert np.array_equal(backend.matmul(a, b), a @ b)
+        assert np.array_equal(backend.gemm(a, b), a @ b)
+        assert np.array_equal(
+            backend.argsort(a, axis=1), np.argsort(a, axis=1)
+        )
+        counts = rng.integers(0, 8, size=30)
+        assert np.array_equal(
+            backend.bincount(counts, minlength=10),
+            np.bincount(counts, minlength=10),
+        )
+        assert np.array_equal(backend.cumsum(a, axis=0), np.cumsum(a, axis=0))
+        assert np.array_equal(
+            backend.outer(a[:, 0], b[0]), np.multiply.outer(a[:, 0], b[0])
+        )
+        bits = rng.integers(0, 2, size=64).astype(np.uint8)
+        assert np.array_equal(
+            backend.packbits(bits, bitorder="little"),
+            np.packbits(bits, bitorder="little"),
+        )
+
+    def test_to_numpy_is_identity_on_host_arrays(self):
+        backend = get_backend("numpy")
+        a = np.arange(5.0)
+        assert backend.to_numpy(a) is a
+
+    def test_cached_instance(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+
+class TestBufferPool:
+    def test_same_key_returns_same_buffer(self):
+        pool = BufferPool()
+        a = pool.get("scratch", (4, 4))
+        b = pool.get("scratch", (4, 4))
+        assert a is b
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_distinct_shapes_get_distinct_buffers(self):
+        pool = BufferPool()
+        a = pool.get("scratch", (4, 4))
+        b = pool.get("scratch", (2, 4))
+        assert a is not b
+        assert len(pool) == 2
+
+    def test_distinct_dtypes_get_distinct_buffers(self):
+        pool = BufferPool()
+        a = pool.get("scratch", (4,), np.float64)
+        b = pool.get("scratch", (4,), np.int64)
+        assert a.dtype == np.float64 and b.dtype == np.int64
+        assert a is not b
+
+    def test_zero_refills(self):
+        pool = BufferPool()
+        a = pool.get("scratch", (3,), zero=True)
+        a[:] = 7.0
+        b = pool.get("scratch", (3,), zero=True)
+        assert b is a
+        assert np.array_equal(b, np.zeros(3))
+
+    def test_without_zero_contents_persist(self):
+        pool = BufferPool()
+        a = pool.get("scratch", (3,))
+        a[:] = 7.0
+        assert np.array_equal(pool.get("scratch", (3,)), np.full(3, 7.0))
+
+    def test_clear_drops_buffers(self):
+        pool = BufferPool()
+        pool.get("scratch", (3,))
+        pool.clear()
+        assert len(pool) == 0
+
+
+class TestGracefulFallback:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            get_backend("torch")
+
+    @pytest.mark.parametrize("name", ["cupy", "numba"])
+    def test_missing_import_falls_back_with_telemetry(
+        self, name, monkeypatch
+    ):
+        def refuse(module_name):
+            raise ImportError(f"No module named {module_name!r}")
+
+        monkeypatch.setattr(
+            "repro.core.backend._try_import", refuse
+        )
+        tele = get_telemetry()
+        sink = tele.add_sink(CaptureSink())
+        before = tele.counters.get("backend.fallbacks", 0)
+        try:
+            backend = get_backend(name)
+        finally:
+            tele.remove_sink(sink)
+        assert backend.name == "numpy"
+        assert backend.requested == name
+        assert backend.fell_back
+        assert backend.xp is np
+        assert tele.counters.get("backend.fallbacks", 0) == before + 1
+        events = sink.of("backend_fallback")
+        assert len(events) == 1
+        assert events[0]["requested"] == name
+        assert events[0]["fallback"] == "numpy"
+
+    def test_fallback_backend_still_simulates(self, monkeypatch, tiny_arch):
+        """A missing accelerator degrades to numpy, never to a crash."""
+        from repro.balance.config import BalanceConfig
+        from repro.core.simulator import EnduranceSimulator
+        from repro.workloads import ParallelMultiplication
+
+        def refuse(module_name):
+            raise ImportError("absent")
+
+        monkeypatch.setattr("repro.core.backend._try_import", refuse)
+        wl = ParallelMultiplication(bits=4)
+        cfg = BalanceConfig.from_label("BsxBs")
+        sim = EnduranceSimulator(tiny_arch)
+        base = sim.run(wl, cfg, 10, settings=SimulationSettings())
+        for name in ("cupy", "numba"):
+            other = sim.run(
+                wl, cfg, 10, settings=SimulationSettings(backend=name)
+            )
+            assert np.array_equal(
+                base.state.write_counts, other.state.write_counts
+            )
+            assert np.array_equal(
+                base.state.read_counts, other.state.read_counts
+            )
+
+    def test_numba_keeps_numpy_semantics_when_importable(self, monkeypatch):
+        """Even a present numba backend computes on numpy arrays."""
+        monkeypatch.setattr(
+            "repro.core.backend._try_import", lambda name: builtins
+        )
+        backend = get_backend("numba")
+        assert backend.name == "numba"
+        assert not backend.fell_back
+        assert backend.xp is np
+
+
+class TestSettingsValidation:
+    def test_backend_names_accepted(self):
+        for name in BACKENDS:
+            assert SimulationSettings(backend=name).backend == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            SimulationSettings(backend="torch")
+
+    def test_fastforward_defaults_off(self):
+        assert SimulationSettings().fastforward is False
+
+
+class TestProvenance:
+    def test_blas_implementation_is_nonempty_string(self):
+        label = blas_implementation()
+        assert isinstance(label, str) and label
+
+    def test_backend_namespace_instantiable_directly(self):
+        backend = Backend("numpy")
+        assert backend.pool is not None
+        assert isinstance(backend.zeros((2, 2)), np.ndarray)
+
+
+def test_verify_periodic_kinds_pinned_to_core():
+    """repro.verify duplicates the periodic-kind set (no core import);
+    this pin keeps the two definitions from drifting apart."""
+    assert _FASTFORWARD_KINDS == PERIODIC_KINDS

@@ -85,10 +85,44 @@ class TestHashSensitivity:
         )
 
 
+class TestHashExclusions:
+    """Pure-speed knobs must not change the content hash."""
+
+    def test_kernel_hash_excluded(self, tiny_arch):
+        assert (
+            spec(tiny_arch, kernel="epoch").content_hash
+            == spec(tiny_arch).content_hash
+        )
+
+    def test_backend_hash_excluded(self, tiny_arch):
+        assert (
+            spec(tiny_arch, backend="cupy").content_hash
+            == spec(tiny_arch).content_hash
+        )
+
+    def test_fastforward_hash_excluded(self, tiny_arch):
+        assert (
+            spec(tiny_arch, fastforward=True).content_hash
+            == spec(tiny_arch).content_hash
+        )
+
+    def test_settings_round_trip_carries_speed_knobs(self, tiny_arch):
+        s = spec(
+            tiny_arch, backend="numba", fastforward=True, kernel="epoch"
+        ).settings
+        assert s.backend == "numba"
+        assert s.fastforward is True
+        assert s.kernel == "epoch"
+
+
 class TestValidation:
     def test_rejects_non_positive_iterations(self, tiny_arch):
         with pytest.raises(ValueError, match="iterations"):
             spec(tiny_arch, iterations=0)
+
+    def test_rejects_unknown_backend(self, tiny_arch):
+        with pytest.raises(ValueError, match="backend"):
+            spec(tiny_arch, backend="torch")
 
     def test_label_mentions_workload_and_config(self, tiny_arch):
         label = spec(tiny_arch).label

@@ -166,6 +166,22 @@ class TestManifestReadApi:
         assert manifest["wall_s"] == 0.5
         assert "telemetry" in manifest
 
+    def test_manifest_records_backend_provenance(
+        self, tmp_path, spec, result
+    ):
+        import numpy as np
+
+        from repro.core.backend import blas_implementation
+
+        store = ResultStore(tmp_path)
+        store.save(spec, result)
+        manifest = store.load_manifest(spec)
+        assert manifest["backend"] == spec.backend
+        assert manifest["fastforward"] == spec.fastforward
+        assert manifest["numpy_version"] == np.__version__
+        assert manifest["blas"] == blas_implementation()
+        assert isinstance(manifest["blas"], str) and manifest["blas"]
+
     def test_load_manifest_missing_is_none(self, tmp_path, spec):
         store = ResultStore(tmp_path)
         assert store.load_manifest(spec) is None

@@ -45,7 +45,8 @@ REPRO_ALL = {
 VERIFY_ALL = {
     "CODES", "Diagnostic", "FUNCTIONAL_CODES", "Location", "Severity",
     "VerificationError", "VerifyReport", "check_bounds", "check_config",
-    "check_dataflow", "check_level_segments", "check_levels",
+    "check_dataflow", "check_fastforward", "check_level_segments",
+    "check_levels",
     "check_permutation_rows", "check_profile_conservation",
     "check_schedule", "verify_mapping", "verify_network",
     "verify_program", "verify_spec",
