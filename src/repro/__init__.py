@@ -68,8 +68,13 @@ from repro.workloads import (
     DotProduct,
     MatrixVectorProduct,
     ParallelMultiplication,
+    TraceWorkload,
+    UnknownWorkloadError,
     VectorAdd,
     Workload,
+    available_workloads,
+    get_workload,
+    register,
 )
 from repro.telemetry import Telemetry, get_telemetry
 from repro.verify import (
@@ -143,6 +148,12 @@ __all__ = [
     "VectorAdd",
     "BinaryNeuron",
     "MatrixVectorProduct",
+    # workload registry + trace frontend
+    "TraceWorkload",
+    "UnknownWorkloadError",
+    "available_workloads",
+    "get_workload",
+    "register",
     # telemetry
     "Telemetry",
     "get_telemetry",

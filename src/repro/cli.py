@@ -16,6 +16,9 @@ Examples::
     repro-endurance switching --bits 16
     repro-endurance deployment --arrays 1024
     repro-endurance remap-sweep --workload dot
+    repro-endurance trace --config StxSt BsxBs+Hw --iterations 500
+    repro-endurance trace --file capture.trace --policy hash --verify-only
+    repro-endurance heatmap --workload gemv-trace --config BsxBs
     repro-endurance heatmap --trace trace.jsonl --progress
     repro-endurance stats trace.jsonl
 
@@ -81,17 +84,19 @@ from repro.telemetry import (
     summarize_trace,
 )
 from repro.telemetry.reporter import say
-from repro.workloads.convolution import Convolution
-from repro.workloads.dotproduct import DotProduct
 from repro.workloads.multiply import ParallelMultiplication
-from repro.workloads.vectoradd import VectorAdd
+from repro.workloads.registry import (
+    UnknownWorkloadError,
+    available_workloads,
+    get_workload,
+    workload_factories,
+)
+from repro.workloads.trace import MAPPING_POLICIES
 
-_WORKLOADS = {
-    "mult": lambda: ParallelMultiplication(bits=32),
-    "conv": lambda: Convolution(),
-    "dot": lambda: DotProduct(n_elements=1024, bits=32),
-    "add": lambda: VectorAdd(bits=32),
-}
+#: Back-compat alias: the private dict of earlier releases is now a live
+#: view of the public registry (:mod:`repro.workloads.registry`), so
+#: anything registered there is immediately visible to every subcommand.
+_WORKLOADS = workload_factories
 
 _LOG_LEVEL_CHOICES = ("debug", "info", "warning", "error", "critical")
 
@@ -105,11 +110,9 @@ _VERIFY_CONFIGS = ("StxSt", "RaxRa", "BsxBs", "B1xB1", "BsxBs+Hw")
 
 def _make_workload(name: str):
     try:
-        return _WORKLOADS[name]()
-    except KeyError:
-        raise SystemExit(
-            f"unknown workload {name!r}; choose from {sorted(_WORKLOADS)}"
-        ) from None
+        return get_workload(name)
+    except UnknownWorkloadError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _make_settings(args) -> SimulationSettings:
@@ -522,7 +525,10 @@ def cmd_verify(args) -> int:
         verify_mapping,
     )
 
-    workloads = sorted(_WORKLOADS) if args.workload == "all" else [args.workload]
+    workloads = (
+        list(available_workloads()) if args.workload == "all"
+        else [args.workload]
+    )
     libraries = _LIBRARY_NAMES if args.library == "all" else (args.library,)
     configs = [BalanceConfig.from_label(label) for label in args.configs]
     base = default_architecture(args.rows, args.cols)
@@ -573,6 +579,65 @@ def cmd_verify(args) -> int:
         say(f"checked {checked} workload x library x config combinations{tail}")
         say(report.render_text())
     return report.exit_code
+
+
+def cmd_trace(args) -> int:
+    """Trace-driven workload: parse, lower, verify, simulate (E35)."""
+    from repro.verify import verify_mapping
+    from repro.workloads.trace import (
+        TraceParseError,
+        TraceWorkload,
+        load_gemv_fixture,
+    )
+
+    try:
+        if args.file:
+            workload = TraceWorkload.from_file(
+                args.file, bits=args.bits, policy=args.policy
+            )
+        else:
+            workload = load_gemv_fixture(bits=args.bits, policy=args.policy)
+    except TraceParseError as exc:
+        raise SystemExit(f"invalid trace: {exc}") from None
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace: {exc}") from None
+    sim = _make_simulator(args)
+    arch = sim.architecture
+    # build() statically checks the lowered network; static errors raise
+    # VerificationError, which main() renders as a report.
+    mapping = workload.build(arch)
+    say(workload.describe())
+    say(
+        f"lowered onto {len(mapping.assignment)}/{arch.lane_count} lanes, "
+        f"{mapping.writes_per_iteration:.0f} writes/iteration, "
+        f"utilization {mapping.lane_utilization:.4f}"
+    )
+    status = 0
+    for label in args.configs:
+        report = verify_mapping(mapping, BalanceConfig.from_label(label))
+        if report.diagnostics:
+            say(f"-- {label}")
+            say(report.render_text())
+        status = max(status, report.exit_code)
+    if status == 0:
+        say(f"verify: no diagnostics ({len(args.configs)} configs)")
+    if args.verify_only or status == 1:
+        return status
+    base_days = None
+    for label in args.configs:
+        result = _run_one(
+            args, sim, workload, BalanceConfig.from_label(label),
+            args.iterations,
+        )
+        estimate = lifetime_from_result(result)
+        if base_days is None:
+            base_days = estimate.days_to_failure
+        say(
+            f"{label:>10s}: {estimate.days_to_failure:10.2f} days to "
+            f"failure ({estimate.days_to_failure / base_days:5.2f}x "
+            f"vs {args.configs[0]})"
+        )
+    return status
 
 
 def cmd_stats(args) -> None:
@@ -647,8 +712,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bits", type=int, default=32)
     p.set_defaults(func=cmd_fig5)
 
+    workload_help = (
+        "workload name from the registry "
+        f"(registered: {', '.join(available_workloads())})"
+    )
+
     p = sub.add_parser("heatmap", help="Figs. 14-16 heatmap for one config")
-    p.add_argument("--workload", default="mult", choices=sorted(_WORKLOADS))
+    p.add_argument("--workload", default="mult", help=workload_help)
     p.add_argument("--config", default="StxSt")
     p.add_argument("--iterations", type=int, default=5000)
     _add_engine_flags(p)
@@ -656,7 +726,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_heatmap)
 
     p = sub.add_parser("fig17", help="Fig. 17 lifetime improvements")
-    p.add_argument("--workload", default="mult", choices=sorted(_WORKLOADS))
+    p.add_argument("--workload", default="mult", help=workload_help)
     p.add_argument("--iterations", type=int, default=10000)
     _add_engine_flags(p)
     _add_sim_flags(p)
@@ -681,7 +751,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_fig11b)
 
     p = sub.add_parser("report", help="full report for one run")
-    p.add_argument("--workload", default="mult", choices=sorted(_WORKLOADS))
+    p.add_argument("--workload", default="mult", help=workload_help)
     p.add_argument("--config", default="StxSt")
     p.add_argument("--iterations", type=int, default=2000)
     _add_engine_flags(p)
@@ -689,7 +759,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("export", help="run once and save npz/csv/pgm artifacts")
-    p.add_argument("--workload", default="mult", choices=sorted(_WORKLOADS))
+    p.add_argument("--workload", default="mult", help=workload_help)
     p.add_argument("--config", default="StxSt")
     p.add_argument("--iterations", type=int, default=2000)
     p.add_argument("--out", default="results")
@@ -716,7 +786,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_deployment)
 
     p = sub.add_parser("remap-sweep", help="recompile-frequency sweep")
-    p.add_argument("--workload", default="dot", choices=sorted(_WORKLOADS))
+    p.add_argument("--workload", default="dot", help=workload_help)
     p.add_argument("--iterations", type=int, default=20000)
     p.add_argument(
         "--intervals", type=int, nargs="+",
@@ -810,8 +880,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--workload", default="all",
-        choices=["all", *sorted(_WORKLOADS)],
-        help="workload to check (default: all built-ins)",
+        choices=["all", *available_workloads()],
+        help="workload to check (default: all registered)",
     )
     p.add_argument(
         "--library", default="all",
@@ -834,6 +904,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the merged report as JSON",
     )
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a PIMulator-style trace as a workload (E35)",
+    )
+    p.add_argument(
+        "--file", default=None, metavar="TRACE",
+        help="trace file to load (default: the bundled GEMV fixture)",
+    )
+    p.add_argument(
+        "--bits", type=int, default=8,
+        help="operand width for the lowered compute ops",
+    )
+    p.add_argument(
+        "--policy", choices=MAPPING_POLICIES, default="direct",
+        help="address-to-lane mapping policy",
+    )
+    p.add_argument(
+        "--config", dest="configs", metavar="LABEL", nargs="+",
+        default=["StxSt", "BsxBs", "BsxBs+Hw"],
+        help="balance configuration labels to verify and simulate",
+    )
+    p.add_argument("--iterations", type=int, default=2000)
+    p.add_argument(
+        "--verify-only", action="store_true", default=False,
+        help="stop after the static checks (no simulation)",
+    )
+    _add_engine_flags(p)
+    _add_sim_flags(p)
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("stats", help="summarize a JSONL telemetry trace")
     p.add_argument("trace_file", help="trace produced with --trace FILE")

@@ -38,21 +38,19 @@ from repro.devices.endurance import (
     UniformEndurance,
 )
 from repro.devices.technology import Technology, technology_by_name
-from repro.workloads.bnn import BinaryNeuron
-from repro.workloads.convolution import Convolution
-from repro.workloads.dotproduct import DotProduct
-from repro.workloads.multiply import ParallelMultiplication
-from repro.workloads.vectoradd import VectorAdd
+from repro.workloads.registry import (
+    UnknownWorkloadError,
+    get_workload,
+    get_workload_factory,
+    workload_factories,
+)
 
-#: Workload factories a cohort spec may name (the CLI's kernel set plus
-#: the BNN extension — the traffic mix the fleet serves).
-WORKLOAD_FACTORIES = {
-    "mult": lambda: ParallelMultiplication(bits=32),
-    "conv": lambda: Convolution(),
-    "dot": lambda: DotProduct(n_elements=1024, bits=32),
-    "add": lambda: VectorAdd(bits=32),
-    "bnn": lambda: BinaryNeuron(n_inputs=128),
-}
+#: Workload factories a cohort spec may name. Since the registry became
+#: the single resolution path this is a live, read-only view of
+#: :data:`repro.workloads.registry.workload_factories` — anything
+#: registered there (built-ins, trace workloads, user plugins) can serve
+#: fleet traffic. The name survives as the stable public alias.
+WORKLOAD_FACTORIES = workload_factories
 
 #: Spawn-key tags for the independent RNG streams a campaign derives from
 #: its base seed (``np.random.default_rng([seed, TAG, ...])``). Keeping
@@ -79,11 +77,12 @@ class CohortSpec:
     iterations_per_request: int = 1
 
     def __post_init__(self) -> None:
-        if self.workload not in WORKLOAD_FACTORIES:
-            raise ValueError(
-                f"unknown workload {self.workload!r}; "
-                f"choose from {sorted(WORKLOAD_FACTORIES)}"
-            )
+        try:
+            get_workload_factory(self.workload)
+        except UnknownWorkloadError as exc:
+            # Cohort specs have always raised ValueError; re-wrap with
+            # the registry's richer message (suggestion + provenance).
+            raise ValueError(str(exc)) from None
         BalanceConfig.from_label(self.config)  # validates the label
         if self.weight <= 0:
             raise ValueError("cohort weight must be positive")
@@ -97,7 +96,7 @@ class CohortSpec:
 
     def build_workload(self):
         """A fresh workload instance for this cohort."""
-        return WORKLOAD_FACTORIES[self.workload]()
+        return get_workload(self.workload)
 
     def identity(self) -> dict:
         """JSON-able canonical form (feeds the fleet spec hash)."""

@@ -14,6 +14,12 @@ Neural network (NN) inference (convolution), and 3) Vector dot-products."
   reduction and a comparison non-linearity;
 * :mod:`repro.workloads.conventional` — the CPU+memory baseline the paper
   compares against in Section 3.1.
+
+Beyond the hand-built kernels, :mod:`repro.workloads.registry` is the
+single name-resolution path (``register`` / ``get_workload`` /
+``available_workloads``) every consumer shares, and
+:mod:`repro.workloads.trace` turns PIMulator-style instruction traces
+into workloads (:class:`~repro.workloads.trace.TraceWorkload`).
 """
 
 from repro.workloads.base import (
@@ -30,6 +36,25 @@ from repro.workloads.conventional import ConventionalBaseline
 from repro.workloads.vectoradd import VectorAdd
 from repro.workloads.bnn import BinaryNeuron
 from repro.workloads.matvec import MatrixVectorProduct
+from repro.workloads.registry import (
+    UnknownWorkloadError,
+    WorkloadEntry,
+    WorkloadRegistrationError,
+    available_workloads,
+    deprecate_workload,
+    get_workload,
+    get_workload_factory,
+    register,
+    unregister,
+    workload_entries,
+    workload_factories,
+)
+from repro.workloads.trace import (
+    AddressMapping,
+    TraceLoweringError,
+    TraceParseError,
+    TraceWorkload,
+)
 
 __all__ = [
     "Phase",
@@ -44,4 +69,21 @@ __all__ = [
     "VectorAdd",
     "BinaryNeuron",
     "MatrixVectorProduct",
+    # registry
+    "UnknownWorkloadError",
+    "WorkloadEntry",
+    "WorkloadRegistrationError",
+    "available_workloads",
+    "deprecate_workload",
+    "get_workload",
+    "get_workload_factory",
+    "register",
+    "unregister",
+    "workload_entries",
+    "workload_factories",
+    # trace frontend
+    "AddressMapping",
+    "TraceLoweringError",
+    "TraceParseError",
+    "TraceWorkload",
 ]

@@ -1,0 +1,59 @@
+"""Trace-driven workload frontend (PIMulator-style traces).
+
+Pipeline: :func:`parse_trace` turns trace text into a typed
+:class:`TraceInstr` stream; :class:`AddressMapping` projects the
+decomposed physical addresses onto lane geometry (direct / interleaved /
+hash policies); :class:`TraceWorkload` lowers the ``PIM`` compute ops to
+synthesized gate programs through the existing gate libraries and plugs
+into the simulator, engine, and fleet like any hand-built workload.
+
+See ``docs/workloads.md`` for the full tour.
+"""
+
+from repro.workloads.trace.addressing import (
+    MAPPING_POLICIES,
+    AddressMapping,
+)
+from repro.workloads.trace.fixtures import (
+    GEMV_FIXTURE,
+    fixture_path,
+    gemv_addresses,
+    gemv_trace_lines,
+    load_gemv_fixture,
+    write_gemv_trace,
+)
+from repro.workloads.trace.lowering import (
+    TraceLoweringError,
+    TraceWorkload,
+)
+from repro.workloads.trace.parser import (
+    PIMULATOR_FORMAT,
+    AddressFormat,
+    PhysicalAddress,
+    TraceInstr,
+    TraceOp,
+    TraceParseError,
+    iter_trace,
+    parse_trace,
+)
+
+__all__ = [
+    "AddressFormat",
+    "AddressMapping",
+    "GEMV_FIXTURE",
+    "MAPPING_POLICIES",
+    "PIMULATOR_FORMAT",
+    "PhysicalAddress",
+    "TraceInstr",
+    "TraceLoweringError",
+    "TraceOp",
+    "TraceParseError",
+    "TraceWorkload",
+    "fixture_path",
+    "gemv_addresses",
+    "gemv_trace_lines",
+    "iter_trace",
+    "load_gemv_fixture",
+    "parse_trace",
+    "write_gemv_trace",
+]

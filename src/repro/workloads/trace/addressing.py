@@ -1,0 +1,95 @@
+"""Address mapping: decomposed physical addresses onto lane geometry.
+
+A trace addresses memory through ``(channel, bankgroup, bank, row)``
+coordinates; our arrays expose ``lane_count`` lanes. The mapping first
+applies a **policy** — a bijective permutation of the flat index space
+``[0, 2**index_bits)`` — then folds the permuted index onto lanes with a
+modulo. Because every policy is a bijection (property-tested), two
+distinct flat indices can only collide on a lane through the fold, never
+through the permutation, and the mapping is a pure deterministic
+function of ``(format, policy, lane_count)``.
+
+Policies:
+
+* ``direct`` — identity: row-major locality maps to adjacent lanes,
+  the layout a locality-aware compiler would expect;
+* ``interleaved`` — bit reversal of the index: neighboring rows scatter
+  across distant lanes, the classic channel-interleaving model;
+* ``hash`` — a Feistel-free xorshift-multiply permutation (odd
+  multiplier, invertible mod ``2**k``): pseudo-random placement that
+  breaks both row and bank locality, the adversarial case for
+  wear-balance strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.workloads.trace.parser import AddressFormat, PIMULATOR_FORMAT
+
+#: Recognized mapping policies.
+MAPPING_POLICIES = ("direct", "interleaved", "hash")
+
+# Odd multipliers are units mod 2**k, so the multiply step is bijective;
+# the xorshift steps are involutions-free bijections for any shift >= 1.
+_HASH_MULTIPLIER = 0x9E3779B1  # golden-ratio constant, odd
+
+
+def _bit_reverse(value: int, bits: int) -> int:
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def _xorshift_multiply(value: int, bits: int) -> int:
+    mask = (1 << bits) - 1
+    shift = max(1, bits // 2)
+    value ^= value >> shift
+    value = (value * _HASH_MULTIPLIER) & mask
+    value ^= value >> shift
+    return value & mask
+
+
+@dataclass(frozen=True)
+class AddressMapping:
+    """Projects trace physical addresses onto lane indices.
+
+    Attributes:
+        lane_count: Lanes of the target architecture.
+        policy: One of :data:`MAPPING_POLICIES`.
+        address_format: Field layout of the trace's addresses.
+    """
+
+    lane_count: int
+    policy: str = "direct"
+    address_format: AddressFormat = PIMULATOR_FORMAT
+
+    def __post_init__(self) -> None:
+        if self.lane_count < 1:
+            raise ValueError("lane_count must be positive")
+        if self.policy not in MAPPING_POLICIES:
+            raise ValueError(
+                f"unknown mapping policy {self.policy!r}; choose from "
+                f"{MAPPING_POLICIES}"
+            )
+
+    def permute(self, flat_index: int) -> int:
+        """The policy's bijection over ``[0, 2**index_bits)``."""
+        bits = self.address_format.index_bits
+        if not 0 <= flat_index < (1 << bits):
+            raise ValueError(
+                f"flat index {flat_index} outside the {bits}-bit space"
+            )
+        if self.policy == "direct":
+            return flat_index
+        if self.policy == "interleaved":
+            return _bit_reverse(flat_index, bits)
+        return _xorshift_multiply(flat_index, bits)
+
+    def lane_of(self, address: Union[int, "object"]) -> int:
+        """The lane a composed physical address lands on."""
+        flat = self.address_format.flat_index(int(address))
+        return self.permute(flat) % self.lane_count

@@ -1,0 +1,124 @@
+"""Bundled trace fixtures: a synthetic GEMV capture and its generator.
+
+The bundled ``gemv16x16x8.trace`` drives a 16x16 matrix-vector product
+(8-bit operands) through the PIMulator dialect: the host stages the
+input vector with ``W MEM`` writes, then one ``PIM MAC`` per matrix
+element accumulates into the output rows. Matrix values live in their
+own channel region co-located (under the ``direct`` policy on
+power-of-two lane counts) with the output row they feed, while vector
+values live on separate lanes — so the lowered network exercises both
+local operands and inter-lane transfer streams, like the paper's
+dot-product reduction.
+
+Address plan (defaults, :data:`PIMULATOR_FORMAT`):
+
+* ``out[i]``  -> ``row=i`` (channel 0)
+* ``W[i][j]`` -> ``row=i``, ``channel=1 + j//4``, ``bank=j%4``
+* ``x[j]``    -> ``row=rows + j`` (channel 0)
+
+Under ``direct`` mapping with ``lane_count`` a power of two (at least
+``rows + cols``), ``out[i]`` and every ``W[i][j]`` land on lane ``i``
+and ``x[j]`` on lane ``rows + j`` — all transfers flow from x-lanes to
+out-lanes, so the functional network is acyclic by construction.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.workloads.trace.parser import AddressFormat, PIMULATOR_FORMAT
+from repro.workloads.trace.lowering import TraceWorkload
+
+#: Filename of the bundled fixture (shipped next to this module).
+GEMV_FIXTURE = "gemv16x16x8.trace"
+
+#: Shape of the bundled fixture.
+GEMV_ROWS = 16
+GEMV_COLS = 16
+GEMV_BITS = 8
+
+
+def gemv_addresses(
+    rows: int = GEMV_ROWS,
+    cols: int = GEMV_COLS,
+    address_format: AddressFormat = PIMULATOR_FORMAT,
+) -> Tuple[List[int], List[List[int]], List[int]]:
+    """The fixture's address plan: ``(out, matrix, vector)`` addresses.
+
+    ``matrix[i][j]`` multiplies ``vector[j]`` into ``out[i]``.
+    """
+    banks = 1 << address_format.bank_bits
+    out = [address_format.compose(row=i) for i in range(rows)]
+    matrix = [
+        [
+            address_format.compose(
+                channel=1 + j // banks, bank=j % banks, row=i
+            )
+            for j in range(cols)
+        ]
+        for i in range(rows)
+    ]
+    vector = [address_format.compose(row=rows + j) for j in range(cols)]
+    return out, matrix, vector
+
+
+def gemv_trace_lines(
+    rows: int = GEMV_ROWS,
+    cols: int = GEMV_COLS,
+    bits: int = GEMV_BITS,
+    address_format: AddressFormat = PIMULATOR_FORMAT,
+) -> List[str]:
+    """The fixture's trace text, line by line (deterministic)."""
+    out, matrix, vector = gemv_addresses(rows, cols, address_format)
+    digits = (address_format.total_bits + 3) // 4
+    lines = [
+        f"# GEMV {rows}x{cols}, {bits}-bit operands "
+        f"(synthetic PIMulator capture)",
+        "# host stages the input vector, then one MAC per matrix element",
+        "W CFR 0 1  // kernel configuration (no array traffic)",
+    ]
+    for j in range(cols):
+        lines.append(f"W MEM 0 0 {rows + j}  // stage x[{j}]")
+    lines.append("")
+    for i in range(rows):
+        lines.append(f"// output row {i}")
+        for j in range(cols):
+            lines.append(
+                f"PIM MAC 0x{out[i]:0{digits}X} "
+                f"0x{matrix[i][j]:0{digits}X} 0x{vector[j]:0{digits}X}"
+            )
+    lines.append("R GPR 3")
+    lines.append(f"R MEM 0 0 {rows}  // host reads x[0] back")
+    lines.append("PIM NOP")
+    lines.append("PIM EXIT")
+    return lines
+
+
+def write_gemv_trace(
+    path,
+    rows: int = GEMV_ROWS,
+    cols: int = GEMV_COLS,
+    bits: int = GEMV_BITS,
+) -> Path:
+    """Write the generated fixture to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text("\n".join(gemv_trace_lines(rows, cols, bits)) + "\n")
+    return path
+
+
+def fixture_path(name: str = GEMV_FIXTURE) -> Path:
+    """Filesystem path of a bundled fixture file."""
+    path = Path(__file__).resolve().parent / name
+    if not path.exists():
+        raise FileNotFoundError(f"bundled trace fixture missing: {path}")
+    return path
+
+
+def load_gemv_fixture(
+    *, bits: int = GEMV_BITS, policy: str = "direct"
+) -> TraceWorkload:
+    """The bundled GEMV trace as a ready-to-run workload."""
+    return TraceWorkload.from_file(
+        fixture_path(), bits=bits, policy=policy, name="gemv-trace"
+    )

@@ -121,6 +121,54 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["heatmap", "--workload", "sorting"])
 
+    def test_unknown_workload_message_suggests_and_lists(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["heatmap", "--workload", "mutl"])
+        message = str(excinfo.value)
+        assert "did you mean 'mult'" in message
+        assert "registered workloads:" in message
+        assert "gemv-trace" in message
+
+    def test_registry_workload_accepted_by_heatmap(self, capsys):
+        main([
+            "--rows", "256", "--cols", "64",
+            "heatmap", "--workload", "gemv-trace", "--config", "StxSt",
+            "--iterations", "20",
+        ])
+        out = capsys.readouterr().out
+        assert "max" in out
+
+    def test_trace_runs_bundled_fixture(self, capsys):
+        assert main([
+            "--rows", "256", "--cols", "64",
+            "trace", "--config", "StxSt", "BsxBs", "--iterations", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "gemv-trace" in out
+        assert "verify: no diagnostics (2 configs)" in out
+        assert "days to failure" in out
+
+    def test_trace_verify_only_skips_simulation(self, capsys):
+        assert main([
+            "--rows", "256", "--cols", "64",
+            "trace", "--verify-only",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "verify: no diagnostics" in out
+        assert "days to failure" not in out
+
+    def test_trace_rejects_bad_file(self, tmp_path):
+        bad = tmp_path / "bad.trace"
+        bad.write_text("PIM FROBNICATE 0x0 0x1\nPIM EXIT\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "--file", str(bad)])
+        assert "invalid trace" in str(excinfo.value)
+
+    def test_trace_rejects_missing_file(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "--file", "/nonexistent/x.trace"])
+        assert "cannot read trace" in str(excinfo.value)
+
 
 FLEET_ARGS = [
     "--rows", "128", "--cols", "128",
@@ -239,8 +287,26 @@ class TestEngineFlags:
 
 SIM_SUBCOMMANDS = (
     "heatmap", "fig17", "table3", "lifetime", "report", "export",
-    "deployment", "remap-sweep", "fleet",
+    "deployment", "remap-sweep", "fleet", "trace",
 )
+
+#: Subcommands that take a ``--workload`` name (resolved via the
+#: registry — any registered name must parse, not just the historical
+#: choices list).
+WORKLOAD_SUBCOMMANDS = ("heatmap", "fig17", "report", "export", "remap-sweep")
+
+
+class TestRegistryFlagAudit:
+    """Every --workload flag accepts every registered name."""
+
+    @pytest.mark.parametrize("command", WORKLOAD_SUBCOMMANDS)
+    def test_all_registered_names_parse(self, command):
+        from repro.workloads.registry import available_workloads
+
+        parser = build_parser()
+        for name in available_workloads():
+            args = parser.parse_args([command, "--workload", name])
+            assert args.workload == name
 
 
 class TestFlagAudit:

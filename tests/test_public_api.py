@@ -35,6 +35,9 @@ REPRO_ALL = {
     "Workload", "ParallelMultiplication", "DotProduct", "Convolution",
     "ConventionalBaseline", "VectorAdd", "BinaryNeuron",
     "MatrixVectorProduct",
+    # workload registry + trace frontend
+    "TraceWorkload", "UnknownWorkloadError", "available_workloads",
+    "get_workload", "register",
     # telemetry
     "Telemetry", "get_telemetry",
     # verify
@@ -71,6 +74,29 @@ FLEET_ALL = {
     "run_campaign", "split_requests",
 }
 
+WORKLOADS_ALL = {
+    "Phase", "Workload", "WorkloadMapping", "evaluate_networked",
+    "evaluate_networked_batch", "ParallelMultiplication", "DotProduct",
+    "Convolution", "ConventionalBaseline", "VectorAdd", "BinaryNeuron",
+    "MatrixVectorProduct",
+    # registry
+    "UnknownWorkloadError", "WorkloadEntry", "WorkloadRegistrationError",
+    "available_workloads", "deprecate_workload", "get_workload",
+    "get_workload_factory", "register", "unregister", "workload_entries",
+    "workload_factories",
+    # trace frontend
+    "AddressMapping", "TraceLoweringError", "TraceParseError",
+    "TraceWorkload",
+}
+
+TRACE_ALL = {
+    "AddressFormat", "AddressMapping", "GEMV_FIXTURE", "MAPPING_POLICIES",
+    "PIMULATOR_FORMAT", "PhysicalAddress", "TraceInstr",
+    "TraceLoweringError", "TraceOp", "TraceParseError", "TraceWorkload",
+    "fixture_path", "gemv_addresses", "gemv_trace_lines", "iter_trace",
+    "load_gemv_fixture", "parse_trace", "write_gemv_trace",
+}
+
 TELEMETRY_ALL = {
     "CaptureSink", "EVENT_FIELDS", "JsonlSink", "LoggingSink",
     "ProgressSink", "Sink", "Telemetry", "TraceSchemaError", "capture",
@@ -87,6 +113,8 @@ TELEMETRY_ALL = {
         ("repro.fleet", FLEET_ALL),
         ("repro.telemetry", TELEMETRY_ALL),
         ("repro.verify", VERIFY_ALL),
+        ("repro.workloads", WORKLOADS_ALL),
+        ("repro.workloads.trace", TRACE_ALL),
     ],
 )
 class TestPublicSurface:
@@ -112,6 +140,16 @@ class TestCrossExports:
 
         assert repro.SimulationSettings is repro.core.SimulationSettings
         assert repro.SimulationSettings is repro.engine.SimulationSettings
+
+    def test_registry_view_is_the_same_object_everywhere(self):
+        import repro.cli
+        import repro.fleet.population
+        from repro.workloads.registry import workload_factories
+
+        assert repro.cli._WORKLOADS is workload_factories
+        assert (
+            repro.fleet.population.WORKLOAD_FACTORIES is workload_factories
+        )
 
     def test_telemetry_is_the_same_object_everywhere(self):
         import repro
