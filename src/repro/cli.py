@@ -482,6 +482,8 @@ def cmd_fleet(args) -> int:
         chunk_size=settings.chunk_size,
         backend=settings.backend,
         fastforward=settings.fastforward,
+        fleet_workers=args.fleet_workers,
+        window=args.window,
     )
     cache_dir = getattr(args, "cache_dir", None)
     service = FleetService(
@@ -865,6 +867,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--stop-after-day", type=int, default=None,
         help="pause after this virtual day (requires --checkpoint-dir); "
              "rerun to resume",
+    )
+    p.add_argument(
+        "--fleet-workers", type=int, default=1,
+        help="worker processes for the day loop itself (sharded over "
+             "shared memory; bit-identical to serial for any count)",
+    )
+    p.add_argument(
+        "--window", type=int, default=0,
+        help="max no-death window in days (0 = per-day stepping); "
+             "batches death-free day spans without changing results",
     )
     p.add_argument(
         "--json", action="store_true", default=False,

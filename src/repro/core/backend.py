@@ -105,6 +105,25 @@ class Backend:
         self.requested = requested if requested is not None else name
         self.xp = xp
         self.pool = BufferPool(xp)
+        self._flushed_pool = (0, 0)  # (hits, misses) already counted
+
+    def flush_pool_counters(self) -> None:
+        """Fold pool hit/miss deltas into the telemetry counters.
+
+        The pool's own attributes are process-lifetime totals (backends
+        are cached); this publishes only what accrued since the last
+        flush into ``backend.pool.hits``/``backend.pool.misses``, so
+        repeated flush points (end of a fleet run, every manifest
+        snapshot) never double-count.
+        """
+        hits, misses = self.pool.hits, self.pool.misses
+        last_hits, last_misses = self._flushed_pool
+        tele = get_telemetry()
+        if hits > last_hits:
+            tele.count("backend.pool.hits", hits - last_hits)
+        if misses > last_misses:
+            tele.count("backend.pool.misses", misses - last_misses)
+        self._flushed_pool = (hits, misses)
 
     # -- introspection --------------------------------------------------
 
@@ -242,6 +261,17 @@ def get_backend(name: str = "numpy") -> Backend:
 def reset_backend_cache() -> None:
     """Drop cached backends (for tests exercising the fallback path)."""
     _backend_cache.clear()
+
+
+def flush_pool_counters() -> None:
+    """Flush every cached backend's pool deltas into telemetry.
+
+    Call sites that publish counter snapshots (manifests, the fleet
+    service's ``counters`` event) run this first so
+    ``backend.pool.hits``/``backend.pool.misses`` are current.
+    """
+    for backend in _backend_cache.values():
+        backend.flush_pool_counters()
 
 
 def blas_implementation() -> str:

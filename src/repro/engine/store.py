@@ -19,7 +19,7 @@ from typing import Iterator, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.backend import blas_implementation
+from repro.core.backend import blas_implementation, flush_pool_counters
 from repro.core.io import LoadedResult, load_result, save_result
 from repro.core.simulator import SimulationResult
 from repro.engine.spec import JobSpec
@@ -123,6 +123,7 @@ class ResultStore:
         the snapshot describes (at least) exactly the runs that worker
         performed.
         """
+        flush_pool_counters()  # backend.pool.* current before the snapshot
         manifest = {
             "content_hash": spec.content_hash,
             "label": spec.label,

@@ -1,0 +1,576 @@
+"""Parallel sharded execution of the fleet day loop.
+
+The fleet campaign's hot path is the vectorized virtual-day loop in
+:class:`~repro.fleet.service.FleetService`: per day, per cohort, an
+elementwise dispatch over the cohort's live arrays plus two scalar
+reductions (the live-array count and, for ``least_worn`` dispatch, the
+total endurance headroom; the served-iteration total either way). This
+module scales that loop across cores without giving up the fleet
+layer's headline guarantee — the final :class:`FleetReport` content
+hash is **bit-identical for any worker count**, including 1 (the
+serial loop).
+
+Three pieces:
+
+:class:`ShardPlan`
+    A deterministic partition of the array index space into contiguous,
+    balanced shards — one per worker.
+
+:class:`CampaignSharedMemory`
+    One ``multiprocessing.shared_memory`` block holding the campaign's
+    per-array state (``cumulative``, ``death_day``, ``thresholds``,
+    ``capacities``, ``cohort_index``) plus a per-cohort gather scratch
+    region. Workers map the same physical pages, so "communication" is
+    a memcpy into disjoint shard-owned slices, never a pickle.
+
+:class:`ParallelDayExecutor`
+    A persistent worker pool (spawned once per campaign, not per day)
+    advancing the day loop in one or two synchronized phases per day.
+
+**Why this is bit-identical.** Every per-array update the workers
+perform (headroom, allocation, cumulative accumulation, threshold
+crossing) is elementwise, so partitioning cannot change it. The only
+order-sensitive operations are the two floating-point reductions, and
+those are *not* computed as per-worker partial sums — each worker
+writes its shard's compacted values into the shared scratch at its
+shard's base offset, and the parent folds the shard segments **in
+fixed shard order** into one contiguous vector and applies a single
+``np.sum``. That vector is element-for-element the same array the
+serial loop reduces (live members in ascending array order), so the
+reduction — and everything downstream of it — is bitwise identical to
+the serial loop for every shard count. Worker-count invariance is a
+corollary rather than a property that needs per-count validation,
+though the tests pin 1/2/4/8 anyway.
+
+The module also hosts :func:`no_death_window`, the conservative
+"no array can possibly die for the next N days" bound behind the
+batched window stepper (serial and parallel alike).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Dispatch modes a day-advance command can carry, mirroring the serial
+#: loop's three arithmetic paths: an even split, a headroom-proportional
+#: split, and the everyone-at-the-brink fallback of ``least_worn``.
+EVEN, WORN, WORN_FALLBACK = "even", "worn", "worn_fallback"
+
+#: Safety margin for :func:`no_death_window`: thresholds are shrunk by
+#: this relative amount before the days-to-crossing division, which
+#: covers the worst-case accumulated rounding of up to ~1e6 consecutive
+#: float64 additions (k ulps after k adds, k * 2^-53 ~ 1.1e-10 at
+#: k = 1e6) with four orders of magnitude to spare.
+WINDOW_MARGIN = 1e-6
+
+#: Hard cap on a single no-death window, keeping the rounding-drift
+#: analysis behind :data:`WINDOW_MARGIN` trivially valid.
+MAX_WINDOW = 1_000_000
+
+_REPLY_TIMEOUT_S = 600.0
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of ``n_arrays`` into contiguous shards.
+
+    Shard sizes are balanced to within one array, with the remainder
+    going to the earliest shards — a pure function of the pair
+    ``(n_arrays, shards)``, so two builds of the same plan agree.
+    """
+
+    n_arrays: int
+    bounds: Tuple[Tuple[int, int], ...]
+
+    @classmethod
+    def build(cls, n_arrays: int, workers: int) -> "ShardPlan":
+        """Plan ``min(workers, n_arrays)`` contiguous balanced shards."""
+        if n_arrays < 1:
+            raise ValueError("n_arrays must be positive")
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        shards = min(workers, n_arrays)
+        base, extra = divmod(n_arrays, shards)
+        bounds: List[Tuple[int, int]] = []
+        lo = 0
+        for shard in range(shards):
+            hi = lo + base + (1 if shard < extra else 0)
+            bounds.append((lo, hi))
+            lo = hi
+        return cls(n_arrays=n_arrays, bounds=tuple(bounds))
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards (== workers actually spawned)."""
+        return len(self.bounds)
+
+
+def no_death_window(
+    thresholds: np.ndarray,
+    cumulative: np.ndarray,
+    death_day: np.ndarray,
+    per_day_max: np.ndarray,
+    horizon: int,
+) -> int:
+    """Days the campaign can advance with **no possible** death.
+
+    Each live array accumulates at most ``per_day_max`` iterations per
+    day (its capacity, optionally tightened by the day's known maximum
+    demand under deterministic traffic), so it cannot reach its death
+    threshold for at least ``floor((threshold * (1 - margin) -
+    cumulative) / per_day_max)`` days; the fleet-wide window is the
+    minimum over live arrays, clipped to ``horizon``. The margin makes
+    the bound robust to the rounding drift of repeated float64
+    accumulation, so *skipping the per-day crossing checks inside the
+    window is exact, not approximate* — the serial loop could not have
+    retired any array on those days either.
+
+    Returns 0 when some live array might die within a day (callers fall
+    back to per-day stepping) and ``horizon`` when nothing is live.
+    """
+    if horizon <= 0:
+        return 0
+    alive = death_day < 0
+    if not alive.any():
+        return min(horizon, MAX_WINDOW)
+    gap = thresholds[alive] * (1.0 - WINDOW_MARGIN) - cumulative[alive]
+    rate = per_day_max[alive]
+    with np.errstate(divide="ignore"):
+        days = np.where(rate > 0, np.floor(gap / np.maximum(rate, 1e-300)), np.inf)
+    bound = float(days.min())
+    if not np.isfinite(bound):
+        return min(horizon, MAX_WINDOW)
+    return int(max(0, min(bound, horizon, MAX_WINDOW)))
+
+
+class CampaignSharedMemory:
+    """The campaign's per-array state in one shared-memory block.
+
+    Layout (all views over the same block, in order): ``cumulative``
+    (float64), ``death_day`` (int64), ``thresholds`` (float64),
+    ``capacities`` (float64), ``cohort_index`` (int64) — each of length
+    ``n_arrays`` — then the gather ``scratch``, a ``(n_cohorts,
+    n_arrays)`` float64 region workers compact per-shard values into.
+
+    The parent creates (and eventually unlinks) the block; workers
+    attach by name and close on exit. Ownership of slices is by shard:
+    worker *w* only ever writes indices in its own ``[lo, hi)`` range
+    (and the matching scratch columns), so no two processes write the
+    same cache line's worth of state and no locking is needed beyond
+    the phase barriers of the command/reply queues.
+    """
+
+    def __init__(
+        self,
+        n_arrays: int,
+        n_cohorts: int,
+        name: Optional[str] = None,
+    ) -> None:
+        self.n_arrays = n_arrays
+        self.n_cohorts = n_cohorts
+        per_array = 5 * 8  # three float64 + two int64 vectors
+        total = n_arrays * per_array + n_cohorts * n_arrays * 8
+        if name is None:
+            self.shm = shared_memory.SharedMemory(create=True, size=total)
+            self.owner = True
+        else:
+            self.shm = shared_memory.SharedMemory(name=name)
+            self.owner = False
+        buf = self.shm.buf
+        offset = 0
+
+        def view(dtype, shape):
+            nonlocal offset
+            count = int(np.prod(shape))
+            arr = np.frombuffer(
+                buf, dtype=dtype, count=count, offset=offset
+            ).reshape(shape)
+            offset += count * np.dtype(dtype).itemsize
+            return arr
+
+        self.cumulative = view(np.float64, (n_arrays,))
+        self.death_day = view(np.int64, (n_arrays,))
+        self.thresholds = view(np.float64, (n_arrays,))
+        self.capacities = view(np.float64, (n_arrays,))
+        self.cohort_index = view(np.int64, (n_arrays,))
+        self.scratch = view(np.float64, (n_cohorts, n_arrays))
+
+    @property
+    def name(self) -> str:
+        """The block's name (workers attach with it)."""
+        return self.shm.name
+
+    def close(self) -> None:
+        """Release this process's mapping (and the block, if owner)."""
+        # Views into shm.buf must be dropped before close() or the
+        # exported-pointer check raises BufferError.
+        for field in (
+            "cumulative", "death_day", "thresholds",
+            "capacities", "cohort_index", "scratch",
+        ):
+            if hasattr(self, field):
+                delattr(self, field)
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - view still referenced
+            pass
+        if self.owner:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+def _worker_main(
+    worker_id: int,
+    lo: int,
+    hi: int,
+    shm_name: str,
+    n_arrays: int,
+    n_cohorts: int,
+    start_method: str,
+    task_queue,
+    reply_queue,
+) -> None:
+    """One shard worker: attach, precompute membership, serve commands.
+
+    The worker owns array indices ``[lo, hi)``. All replies are small
+    Python scalars; bulk data moves through the shared block.
+    """
+    shared = CampaignSharedMemory(n_arrays, n_cohorts, name=shm_name)
+    if start_method != "fork":
+        # A spawned child gets its own resource tracker, which would
+        # otherwise believe it owns the (parent-owned) block and unlink
+        # it when the child exits (bpo-38119). Fork children share the
+        # parent's tracker, where the extra registration is idempotent.
+        try:  # pragma: no cover - version-dependent private API
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shared.shm._name, "shared_memory")
+        except Exception:
+            pass
+    members = {
+        cohort: lo + np.flatnonzero(shared.cohort_index[lo:hi] == cohort)
+        for cohort in range(n_cohorts)
+    }
+    alive = {
+        cohort: idx[shared.death_day[idx] < 0]
+        for cohort, idx in members.items()
+    }
+    stash: Dict[int, np.ndarray] = {}
+    timers = {"headroom_s": 0.0, "advance_s": 0.0, "window_s": 0.0, "days": 0}
+    try:
+        while True:
+            command = task_queue.get()
+            tag = command[0]
+            if tag == "stop":
+                reply_queue.put((worker_id, "stop", dict(timers)))
+                break
+            start = perf_counter()
+            if tag == "headroom":
+                _, cohorts = command
+                counts = {}
+                for cohort in cohorts:
+                    live = alive[cohort]
+                    headroom = np.maximum(
+                        shared.thresholds[live] - shared.cumulative[live],
+                        0.0,
+                    )
+                    shared.scratch[cohort, lo:lo + len(live)] = headroom
+                    stash[cohort] = headroom
+                    counts[cohort] = len(live)
+                timers["headroom_s"] += perf_counter() - start
+                reply_queue.put((worker_id, "headroom", counts))
+            elif tag == "advance":
+                _, day, dispatches = command
+                out = {}
+                for cohort, (mode, demand, n_alive, total) in (
+                    dispatches.items()
+                ):
+                    live = alive[cohort]
+                    stashed = stash.pop(cohort, None)
+                    if len(live) == 0:
+                        out[cohort] = (0, 0)
+                        continue
+                    caps = shared.capacities[live]
+                    if mode == EVEN:
+                        allocation = np.minimum(demand / n_alive, caps)
+                    elif mode == WORN:
+                        headroom = (
+                            stashed
+                            if stashed is not None
+                            else np.maximum(
+                                shared.thresholds[live]
+                                - shared.cumulative[live],
+                                0.0,
+                            )
+                        )
+                        allocation = np.minimum(
+                            demand * (headroom / total), caps
+                        )
+                    else:  # WORN_FALLBACK: the at-the-brink even share
+                        allocation = np.minimum(
+                            demand * (1.0 / n_alive), caps
+                        )
+                    shared.cumulative[live] += allocation
+                    shared.scratch[cohort, lo:lo + len(live)] = allocation
+                    crossed = (
+                        shared.cumulative[live] >= shared.thresholds[live]
+                    )
+                    deaths = int(crossed.sum())
+                    if deaths:
+                        shared.death_day[live[crossed]] = day
+                        alive[cohort] = live[~crossed]
+                    out[cohort] = (len(live), deaths)
+                timers["advance_s"] += perf_counter() - start
+                timers["days"] += 1
+                reply_queue.put((worker_id, "advance", out))
+            elif tag == "window":
+                _, days, dispatches = command
+                out = {}
+                for cohort, (demand, n_alive) in dispatches.items():
+                    live = alive[cohort]
+                    if len(live) == 0:
+                        out[cohort] = (0, 0)
+                        continue
+                    caps = shared.capacities[live]
+                    allocation = np.minimum(demand / n_alive, caps)
+                    compact = shared.cumulative[live]  # fancy-index copy
+                    for _ in range(days):
+                        compact += allocation
+                    shared.cumulative[live] = compact
+                    shared.scratch[cohort, lo:lo + len(live)] = allocation
+                    out[cohort] = (len(live), 0)
+                timers["window_s"] += perf_counter() - start
+                timers["days"] += days
+                reply_queue.put((worker_id, "window", out))
+            else:  # pragma: no cover - protocol error
+                raise RuntimeError(f"unknown command {tag!r}")
+    except Exception:  # pragma: no cover - surfaced in the parent
+        reply_queue.put((worker_id, "error", traceback.format_exc()))
+    finally:
+        stash.clear()
+        members.clear()
+        alive.clear()
+        shared.close()
+
+
+class ParallelDayExecutor:
+    """A persistent pool of shard workers advancing the day loop.
+
+    Args:
+        cohort_index: Per-array cohort assignment.
+        thresholds: Per-array death thresholds (read-only).
+        capacities: Per-array daily iteration capacities (read-only).
+        cumulative: Initial per-array cumulative iterations (copied into
+            shared memory; read back through :attr:`cumulative`).
+        death_day: Initial per-array death days (same contract).
+        workers: Worker process count (shards = ``min(workers, n)``).
+
+    After construction, :attr:`cumulative` and :attr:`death_day` are
+    live shared views the caller should treat as the campaign state —
+    checkpoints read them directly, no copy-out step. The executor is
+    quiescent (workers blocked on their queues) between calls, so those
+    reads are race-free.
+    """
+
+    def __init__(
+        self,
+        cohort_index: np.ndarray,
+        thresholds: np.ndarray,
+        capacities: np.ndarray,
+        cumulative: np.ndarray,
+        death_day: np.ndarray,
+        workers: int,
+    ) -> None:
+        n_arrays = len(cohort_index)
+        n_cohorts = int(cohort_index.max()) + 1 if n_arrays else 1
+        self.plan = ShardPlan.build(n_arrays, workers)
+        self.shared = CampaignSharedMemory(n_arrays, n_cohorts)
+        self.shared.cumulative[:] = cumulative
+        self.shared.death_day[:] = death_day
+        self.shared.thresholds[:] = thresholds
+        self.shared.capacities[:] = capacities
+        self.shared.cohort_index[:] = cohort_index
+        self.worker_timers: List[Dict] = []
+        self._closed = False
+
+        methods = mp.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = mp.get_context(start_method)
+        self._tasks = [self._ctx.Queue() for _ in self.plan.bounds]
+        self._replies = self._ctx.Queue()
+        self._procs = []
+        for worker_id, (lo, hi) in enumerate(self.plan.bounds):
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker_id, lo, hi, self.shared.name, n_arrays,
+                    n_cohorts, start_method, self._tasks[worker_id],
+                    self._replies,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    # -- state views ----------------------------------------------------
+
+    @property
+    def cumulative(self) -> np.ndarray:
+        """Live shared view of per-array cumulative iterations."""
+        return self.shared.cumulative
+
+    @property
+    def death_day(self) -> np.ndarray:
+        """Live shared view of per-array death days."""
+        return self.shared.death_day
+
+    @property
+    def n_shards(self) -> int:
+        """Shard (and worker-process) count."""
+        return self.plan.n_shards
+
+    # -- the phase protocol ---------------------------------------------
+
+    def _broadcast(self, command) -> List:
+        for queue in self._tasks:
+            queue.put(command)
+        return self._collect(command[0])
+
+    def _collect(self, tag: str) -> List:
+        replies: Dict[int, object] = {}
+        while len(replies) < len(self._procs):
+            worker_id, got, payload = self._replies.get(
+                timeout=_REPLY_TIMEOUT_S
+            )
+            if got == "error":
+                raise RuntimeError(
+                    f"fleet shard worker {worker_id} failed:\n{payload}"
+                )
+            if got != tag:  # pragma: no cover - protocol error
+                raise RuntimeError(
+                    f"expected {tag!r} reply, got {got!r} from "
+                    f"worker {worker_id}"
+                )
+            replies[worker_id] = payload
+        return [replies[w] for w in range(len(self._procs))]
+
+    def _fold(self, cohort: int, counts: Sequence[int]) -> np.ndarray:
+        """The shard segments of one cohort, folded in fixed shard order.
+
+        Concatenation in ascending shard order reconstructs exactly the
+        compacted live-member vector the serial loop builds (live
+        members in ascending array order), so a single ``np.sum`` over
+        it is the *same reduction over the same array* — bit-identical,
+        not merely close.
+        """
+        segments = [
+            self.shared.scratch[cohort, lo:lo + count]
+            for (lo, _), count in zip(self.plan.bounds, counts)
+        ]
+        return np.concatenate(segments)
+
+    def gather_headroom(
+        self, cohorts: Sequence[int]
+    ) -> Dict[int, Tuple[float, int]]:
+        """Phase 1 (``least_worn``): per-cohort total headroom + count.
+
+        Workers compact their live members' headroom into the shared
+        scratch; the parent folds shard segments in order and reduces
+        once. Workers stash their compacted vectors so the following
+        :meth:`advance_day` reuses them without recomputation.
+        """
+        replies = self._broadcast(("headroom", tuple(cohorts)))
+        out = {}
+        for cohort in cohorts:
+            counts = [reply[cohort] for reply in replies]
+            folded = self._fold(cohort, counts)
+            out[cohort] = (float(folded.sum()), int(len(folded)))
+        return out
+
+    def advance_day(
+        self, day: int, dispatches: Dict[int, Tuple[str, float, int, float]]
+    ) -> Dict[int, Tuple[float, int]]:
+        """Phase 2: dispatch one day of demand; returns per-cohort totals.
+
+        Args:
+            day: The (1-based) virtual day being completed.
+            dispatches: Per-cohort ``(mode, demand_iterations, n_alive,
+                total_headroom)`` — the scalars the elementwise worker
+                math needs, exactly as the serial loop computes them.
+
+        Returns:
+            Per-cohort ``(served_iterations, deaths)``.
+        """
+        replies = self._broadcast(("advance", day, dispatches))
+        out = {}
+        for cohort in dispatches:
+            counts = [reply[cohort][0] for reply in replies]
+            deaths = sum(reply[cohort][1] for reply in replies)
+            served = float(self._fold(cohort, counts).sum())
+            out[cohort] = (served, int(deaths))
+        return out
+
+    def advance_window(
+        self, days: int, dispatches: Dict[int, Tuple[float, int]]
+    ) -> Dict[int, float]:
+        """Advance a no-death window of constant-demand even dispatch.
+
+        Only valid when every day of the window repeats the same
+        ``(demand, n_alive)`` per cohort and :func:`no_death_window`
+        guarantees no crossings: the allocation vector is then constant
+        across the window, so workers apply ``days`` repeated in-place
+        additions (bitwise the serial loop's per-day accumulation) with
+        one synchronization for the whole window. Returns the
+        per-cohort *per-day* served iterations (constant by the same
+        argument the serial loop relies on).
+        """
+        replies = self._broadcast(("window", days, dispatches))
+        out = {}
+        for cohort in dispatches:
+            counts = [reply[cohort][0] for reply in replies]
+            out[cohort] = float(self._fold(cohort, counts).sum())
+        return out
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the workers, collect their timers, release the memory."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            try:
+                self.worker_timers = self._broadcast(("stop",))
+            except Exception:  # pragma: no cover - dead worker
+                self.worker_timers = []
+            for proc in self._procs:
+                proc.join(timeout=30)
+                if proc.is_alive():  # pragma: no cover - hung worker
+                    proc.terminate()
+                    proc.join(timeout=5)
+            for queue in [*self._tasks, self._replies]:
+                queue.close()
+                queue.join_thread()
+        finally:
+            self.shared.close()
+
+    def __enter__(self) -> "ParallelDayExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -144,6 +144,49 @@ def draw_day(
     return count
 
 
+def draw_window(
+    spec: TrafficSpec,
+    state: TrafficState,
+    rng: np.random.Generator,
+    days: int,
+) -> np.ndarray:
+    """Request counts for ``days`` consecutive virtual days (batched).
+
+    Bit-compatible with calling :func:`draw_day` ``days`` times: the
+    generator consumes the exact same stream, in the same order, so a
+    campaign may freely mix windowed and per-day stepping (and a
+    checkpoint taken at any window boundary resumes identically under
+    either). Per model:
+
+    ``deterministic``
+        A constant vector; zero RNG draws, same as the per-day path.
+
+    ``poisson``
+        One vectorized ``rng.poisson(rate, size=days)`` call. NumPy
+        fills the output by running the scalar sampler sequentially off
+        the same bit stream, so the drawn sequence is identical to
+        ``days`` scalar calls (pinned by ``tests/test_fleet_traffic.py``).
+
+    ``bursty``
+        The MMPP interleaves a Poisson draw and a state-flip uniform
+        *per day*, and the Poisson sampler consumes a data-dependent
+        number of raw draws — so a single batched call cannot reproduce
+        the stream. The window path instead loops :func:`draw_day`
+        (trivially stream-identical); the batching win for MMPP is the
+        single traffic call per window at the service layer, not a
+        vectorized kernel.
+    """
+    if days < 1:
+        raise ValueError("days must be positive")
+    if spec.model == "deterministic":
+        return np.full(days, int(round(spec.rate)), dtype=np.int64)
+    if spec.model == "poisson":
+        return rng.poisson(spec.rate, size=days).astype(np.int64)
+    return np.array(
+        [draw_day(spec, state, rng) for _ in range(days)], dtype=np.int64
+    )
+
+
 def split_requests(
     total: int,
     weights: np.ndarray,
@@ -160,6 +203,30 @@ def split_requests(
     if total == 0:
         return np.zeros(len(weights), dtype=np.int64)
     return rng.multinomial(total, weights).astype(np.int64)
+
+
+def split_requests_window(
+    totals: np.ndarray,
+    weights: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-cohort splits for a whole day window at once.
+
+    Returns a ``(days, cohorts)`` int64 matrix whose rows are exactly
+    what :func:`split_requests` would have produced day by day, off the
+    same generator stream: NumPy's array-``n`` multinomial runs the
+    scalar kernel per row in order, and zero-request days are masked
+    out before drawing because the per-day path never touches the RNG
+    for them (both facts pinned by ``tests/test_fleet_traffic.py``).
+    """
+    totals = np.asarray(totals, dtype=np.int64)
+    if len(weights) == 1:
+        return totals[:, None].copy()
+    out = np.zeros((len(totals), len(weights)), dtype=np.int64)
+    nonzero = np.flatnonzero(totals)
+    if len(nonzero):
+        out[nonzero] = rng.multinomial(totals[nonzero], weights)
+    return out
 
 
 def capacity_iterations(

@@ -35,8 +35,10 @@ EVENT_FIELDS: Dict[str, frozenset] = {
     "grid_progress": frozenset({"done", "total", "label"}),
     "fleet_start": frozenset({"arrays", "days", "cohorts"}),
     "fleet_day": frozenset({"day", "alive", "served"}),
+    "fleet_window": frozenset({"day", "days", "alive", "served"}),
     "fleet_checkpoint": frozenset({"day"}),
     "fleet_end": frozenset({"days", "alive", "deaths"}),
+    "counters": frozenset({"counters"}),
 }
 
 
@@ -104,7 +106,10 @@ def summarize_trace(records: Union[str, Iterable[Dict]]) -> Dict:
         (event -> count), ``phases`` (name -> calls/total_s/mean_s),
         ``jobs`` (status -> count, plus ``attempts`` and ``wall_s``
         totals), ``cache`` (hits/misses), ``retries``, ``timeouts``,
-        and ``simulations`` (count, iterations, epochs).
+        ``fleet`` (virtual days — windowed days included — checkpoints,
+        windows), ``counters`` (the merged telemetry counter snapshots
+        from ``counters`` events, last write wins per key), and
+        ``simulations`` (count, iterations, epochs).
     """
     if isinstance(records, str):
         records = iter_trace(records)
@@ -119,6 +124,8 @@ def summarize_trace(records: Union[str, Iterable[Dict]]) -> Dict:
     timeouts = 0
     fleet_days = 0
     fleet_checkpoints = 0
+    fleet_windows = 0
+    counters: Dict[str, Union[int, float]] = {}
     sim_count = 0
     sim_iterations = 0
     sim_epochs = 0
@@ -151,8 +158,15 @@ def summarize_trace(records: Union[str, Iterable[Dict]]) -> Dict:
             timeouts += 1
         elif event == "fleet_day":
             fleet_days += 1
+        elif event == "fleet_window":
+            fleet_days += int(record["days"])
+            fleet_windows += 1
         elif event == "fleet_checkpoint":
             fleet_checkpoints += 1
+        elif event == "counters":
+            payload = record["counters"]
+            if isinstance(payload, dict):
+                counters.update(payload)
         elif event == "simulation":
             sim_count += 1
             sim_iterations += int(record["iterations"])
@@ -177,7 +191,12 @@ def summarize_trace(records: Union[str, Iterable[Dict]]) -> Dict:
         "cache": {"hits": cache_hits, "misses": cache_misses},
         "retries": retries,
         "timeouts": timeouts,
-        "fleet": {"days": fleet_days, "checkpoints": fleet_checkpoints},
+        "fleet": {
+            "days": fleet_days,
+            "checkpoints": fleet_checkpoints,
+            "windows": fleet_windows,
+        },
+        "counters": dict(sorted(counters.items())),
         "simulations": {
             "count": sim_count,
             "iterations": sim_iterations,
@@ -224,10 +243,19 @@ def format_stats(summary: Dict) -> str:
     fleet = summary.get("fleet", {})
     if fleet.get("days"):
         lines.append("")
-        lines.append(
+        line = (
             f"fleet: {fleet['days']} virtual day(s), "
             f"{fleet['checkpoints']} checkpoint(s)"
         )
+        if fleet.get("windows"):
+            line += f", {fleet['windows']} window(s)"
+        lines.append(line)
+    counters = summary.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name, value in counters.items():
+            lines.append(f"  {name:<28} {value}")
     sims = summary["simulations"]
     if sims["count"]:
         lines.append("")

@@ -1,0 +1,129 @@
+"""The benchmark trajectory collator (``benchmarks/collate.py``)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_COLLATE_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "collate.py"
+)
+
+
+def _load_collate():
+    spec = importlib.util.spec_from_file_location("bench_collate", _COLLATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+collate_mod = _load_collate()
+
+
+def write_payload(results, experiment_id, payload):
+    path = results / f"BENCH_{experiment_id}.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestSummarizePayload:
+    def test_extracts_conventions(self):
+        row = collate_mod.summarize_payload(
+            "E99",
+            {
+                "experiment": "E99_demo",
+                "speedup": 4.2,
+                "bit_identical": True,
+                "cold": {"seconds": 1.5, "array_days_per_second": 1000.0},
+                "label": "not a metric",
+            },
+        )
+        assert row == {
+            "id": "E99",
+            "experiment": "E99_demo",
+            "speedup": 4.2,
+            "bit_identical": True,
+            "throughput": {"cold.array_days_per_second": 1000.0},
+            "timings": {"cold.seconds": 1.5},
+        }
+
+    def test_optional_fields_stay_absent(self):
+        row = collate_mod.summarize_payload("E98", {"experiment": "E98_min"})
+        assert row == {"id": "E98", "experiment": "E98_min"}
+
+    def test_missing_experiment_name_rejected(self):
+        with pytest.raises(ValueError, match="experiment"):
+            collate_mod.summarize_payload("E97", {"speedup": 2.0})
+
+
+class TestCollate:
+    def test_sorted_numerically_with_summary(self, tmp_path):
+        write_payload(
+            tmp_path, "E10", {"experiment": "E10_a", "speedup": 2.0}
+        )
+        write_payload(
+            tmp_path,
+            "E2",
+            {"experiment": "E2_b", "speedup": 9.0, "bit_identical": True},
+        )
+        doc = collate_mod.collate(tmp_path)
+        assert [row["id"] for row in doc["benchmarks"]] == ["E2", "E10"]
+        assert doc["summary"] == {
+            "n_benchmarks": 2,
+            "all_bit_identical": True,
+            "max_speedup": 9.0,
+        }
+
+    def test_non_bench_files_ignored(self, tmp_path):
+        write_payload(tmp_path, "E1", {"experiment": "E1_x"})
+        (tmp_path / "E01_opcounts.txt").write_text("prose\n")
+        (tmp_path / "notes.json").write_text("{}")
+        doc = collate_mod.collate(tmp_path)
+        assert len(doc["benchmarks"]) == 1
+
+    def test_invalid_json_raises(self, tmp_path):
+        (tmp_path / "BENCH_E5.json").write_text("{nope")
+        with pytest.raises(ValueError, match="BENCH_E5.json"):
+            collate_mod.collate(tmp_path)
+
+    def test_broken_identity_fails_main(self, tmp_path, capsys):
+        write_payload(
+            tmp_path,
+            "E3",
+            {"experiment": "E3_bad", "bit_identical": False},
+        )
+        code = collate_mod.main(["--results", str(tmp_path)])
+        assert code == 1
+        assert "E3" in capsys.readouterr().out
+
+    def test_main_writes_then_check_passes(self, tmp_path):
+        write_payload(
+            tmp_path,
+            "E4",
+            {"experiment": "E4_ok", "speedup": 3.0, "bit_identical": True},
+        )
+        assert collate_mod.main(["--results", str(tmp_path)]) == 0
+        out = tmp_path / collate_mod.OUTPUT_NAME
+        assert out.exists()
+        assert collate_mod.main(["--results", str(tmp_path), "--check"]) == 0
+        # A payload change makes --check fail until regenerated.
+        write_payload(
+            tmp_path,
+            "E4",
+            {"experiment": "E4_ok", "speedup": 5.0, "bit_identical": True},
+        )
+        assert collate_mod.main(["--results", str(tmp_path), "--check"]) == 1
+
+
+class TestRepoTrajectory:
+    def test_checked_in_trajectory_is_current(self):
+        """The committed BENCH_TRAJECTORY.json matches the payloads."""
+        results = _COLLATE_PATH.parent / "results"
+        committed = results / collate_mod.OUTPUT_NAME
+        assert committed.exists(), "run benchmarks/collate.py"
+        doc = collate_mod.collate(results)
+        assert collate_mod.render(doc) == committed.read_text()
+        assert doc["summary"]["all_bit_identical"] is True
+        ids = [row["id"] for row in doc["benchmarks"]]
+        assert "E33" in ids

@@ -219,6 +219,34 @@ class TestFleetCommand:
             == json.loads(straight)["report_hash"]
         )
 
+    def test_fleet_execution_knobs_preserve_output(self, capsys, tmp_path):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(FLEET_ARGS + ["--json"] + cache) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(
+                FLEET_ARGS
+                + ["--json", "--fleet-workers", "2", "--window", "2"]
+                + cache
+            )
+            == 0
+        )
+        tuned = capsys.readouterr().out
+
+        import json
+
+        assert (
+            json.loads(tuned)["report_hash"]
+            == json.loads(serial)["report_hash"]
+        )
+        assert json.loads(tuned)["runtime"]["fleet_workers"] == 2
+
+    def test_fleet_bad_execution_knobs_rejected(self):
+        with pytest.raises(ValueError, match="fleet_workers"):
+            main(FLEET_ARGS + ["--fleet-workers", "0"])
+        with pytest.raises(ValueError, match="window"):
+            main(FLEET_ARGS + ["--window", "-1"])
+
     def test_fleet_bad_mix_token_rejected(self):
         with pytest.raises(SystemExit):
             main(["fleet", "--technology-mix", "MRAM:heavy"])

@@ -12,6 +12,7 @@ from repro.core.backend import (
     Backend,
     BufferPool,
     blas_implementation,
+    flush_pool_counters,
     get_backend,
     reset_backend_cache,
 )
@@ -115,6 +116,52 @@ class TestBufferPool:
         pool.get("scratch", (3,))
         pool.clear()
         assert len(pool) == 0
+
+
+class TestPoolCounterFlush:
+    """Pool hit/miss totals publish to telemetry as deltas only."""
+
+    @pytest.fixture
+    def tele(self):
+        from repro.telemetry import Telemetry, set_telemetry
+
+        fresh = Telemetry()
+        previous = set_telemetry(fresh)
+        try:
+            yield fresh
+        finally:
+            set_telemetry(previous)
+
+    def test_flush_publishes_deltas_not_totals(self, tele):
+        backend = get_backend("numpy")
+        backend.pool.get("a", (4,))  # miss
+        backend.pool.get("a", (4,))  # hit
+        backend.flush_pool_counters()
+        assert tele.counters["backend.pool.hits"] == 1
+        assert tele.counters["backend.pool.misses"] == 1
+
+        # A second flush with no pool traffic adds nothing.
+        backend.flush_pool_counters()
+        assert tele.counters["backend.pool.hits"] == 1
+        assert tele.counters["backend.pool.misses"] == 1
+
+        # Only the increments since the last flush are counted.
+        backend.pool.get("a", (4,))  # hit
+        backend.flush_pool_counters()
+        assert tele.counters["backend.pool.hits"] == 2
+        assert tele.counters["backend.pool.misses"] == 1
+
+    def test_quiet_flush_writes_no_counter_keys(self, tele):
+        backend = get_backend("numpy")
+        backend.flush_pool_counters()
+        assert "backend.pool.hits" not in tele.counters
+        assert "backend.pool.misses" not in tele.counters
+
+    def test_module_flush_covers_cached_backends(self, tele):
+        backend = get_backend("numpy")
+        backend.pool.get("a", (2, 2))
+        flush_pool_counters()
+        assert tele.counters["backend.pool.misses"] == 1
 
 
 class TestGracefulFallback:

@@ -63,15 +63,16 @@ ENGINE_ALL = {
 }
 
 FLEET_ALL = {
-    "BUDGET_STREAM", "CHECKPOINT_VERSION", "CheckpointManager",
-    "CohortSpec", "DISPATCH_POLICIES", "FleetReport", "FleetService",
-    "FleetSpec", "Population", "PopulationSpec", "SurvivalCurve",
-    "TRAFFIC_MODELS", "TRAFFIC_STREAM", "TrafficSpec", "TrafficState",
-    "WORKLOAD_FACTORIES", "annual_replacement_rate", "binomial_tail",
-    "canonical_hash", "capacity_headroom", "capacity_iterations",
-    "draw_day", "format_report", "interleaved_assignment",
-    "kaplan_meier", "proportional_counts", "required_fleet_size",
-    "run_campaign", "split_requests",
+    "BUDGET_STREAM", "CHECKPOINT_VERSION", "CampaignSharedMemory",
+    "CheckpointManager", "CohortSpec", "DISPATCH_POLICIES", "FleetReport",
+    "FleetService", "FleetSpec", "ParallelDayExecutor", "Population",
+    "PopulationSpec", "ShardPlan", "SurvivalCurve", "TRAFFIC_MODELS",
+    "TRAFFIC_STREAM", "TrafficSpec", "TrafficState", "WORKLOAD_FACTORIES",
+    "annual_replacement_rate", "binomial_tail", "canonical_hash",
+    "capacity_headroom", "capacity_iterations", "draw_day", "draw_window",
+    "format_report", "interleaved_assignment", "kaplan_meier",
+    "no_death_window", "proportional_counts", "required_fleet_size",
+    "run_campaign", "split_requests", "split_requests_window",
 }
 
 WORKLOADS_ALL = {

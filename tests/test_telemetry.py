@@ -238,6 +238,51 @@ class TestSummaries:
         assert "1 record(s)" in text
         assert "phases:" in text
 
+    def test_summarize_folds_windows_into_fleet_days(self):
+        records = [
+            {"ts": 1.0, "event": "fleet_day", "day": 1, "alive": 4,
+             "served": 10},
+            {"ts": 2.0, "event": "fleet_window", "day": 9, "days": 8,
+             "alive": 4, "served": 80},
+            {"ts": 3.0, "event": "fleet_window", "day": 15, "days": 6,
+             "alive": 3, "served": 55},
+            {"ts": 4.0, "event": "fleet_checkpoint", "day": 15},
+        ]
+        summary = summarize_trace(records)
+        assert summary["fleet"] == {
+            "days": 15,
+            "checkpoints": 1,
+            "windows": 2,
+        }
+
+    def test_summarize_merges_counters_last_write_wins(self):
+        records = [
+            {"ts": 1.0, "event": "counters",
+             "counters": {"fleet.days": 10, "backend.pool.hits": 3}},
+            {"ts": 2.0, "event": "counters",
+             "counters": {"fleet.days": 25}},
+        ]
+        summary = summarize_trace(records)
+        assert summary["counters"] == {
+            "backend.pool.hits": 3,
+            "fleet.days": 25,
+        }
+
+    def test_format_stats_renders_windows_and_counters(self):
+        summary = summarize_trace(
+            [
+                {"ts": 1.0, "event": "fleet_window", "day": 8, "days": 8,
+                 "alive": 2, "served": 16},
+                {"ts": 2.0, "event": "counters",
+                 "counters": {"fleet.windows": 1, "backend.pool.hits": 7}},
+            ]
+        )
+        text = format_stats(summary)
+        assert "fleet: 8 virtual day(s), 0 checkpoint(s), 1 window(s)" in text
+        assert "counters:" in text
+        assert "backend.pool.hits" in text
+        assert "fleet.windows" in text
+
 
 class TestSimulatorInstrumentation:
     def test_run_emits_simulation_event_and_counts(self, tiny_arch):
