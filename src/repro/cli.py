@@ -508,6 +508,91 @@ def cmd_fleet(args) -> int:
     return 0
 
 
+def _cmd_verify_fleet(args) -> int:
+    """Whole-system static passes behind ``verify --fleet/--self``.
+
+    Composes any combination of the three campaign-level verifiers —
+    :func:`repro.verify.verify_fleet_spec` over an E36-equivalent fleet
+    spec built from the flags (``--fleet``), the RPR012/RPR013 shard
+    checks over a JSON plan fixture (``--shard-plan``), and the repo
+    self-lint (``--self``) — into one merged report with the same
+    text/JSON render and exit-code contract as the workload sweep.
+    """
+    import json as json_module
+
+    from repro.verify import (
+        VerifyReport,
+        check_shard_plan,
+        check_shard_races,
+        verify_fleet_spec,
+        verify_self,
+    )
+
+    report = VerifyReport()
+    checked = []
+    if args.fleet:
+        from repro.fleet import (
+            CohortSpec,
+            FleetSpec,
+            PopulationSpec,
+            TrafficSpec,
+        )
+
+        spec = FleetSpec(
+            population=PopulationSpec(
+                n_arrays=args.arrays,
+                technology_mix=(("MRAM", 1.0), ("PCM", 1.0)),
+                cohorts=(
+                    CohortSpec(workload="add", weight=1.0),
+                    CohortSpec(workload="conv", weight=1.0),
+                ),
+                endurance_sigma=0.3,
+            ),
+            traffic=TrafficSpec(model=args.traffic, rate=4e6),
+            days=365,
+            seed=args.seed,
+            rows=args.rows,
+            cols=args.cols,
+            fleet_workers=args.fleet_workers,
+            window=args.window,
+        )
+        report = report.merged(verify_fleet_spec(spec, use_cache=False))
+        checked.append(
+            f"fleet spec ({args.arrays} arrays, {args.fleet_workers} "
+            f"workers, window {args.window}, {args.traffic} traffic)"
+        )
+    if args.shard_plan:
+        from repro.fleet import ShardPlan
+
+        with open(args.shard_plan, "r", encoding="utf-8") as handle:
+            payload = json_module.load(handle)
+        try:
+            plan = ShardPlan(
+                n_arrays=int(payload["n_arrays"]),
+                bounds=tuple(
+                    (int(lo), int(hi)) for lo, hi in payload["bounds"]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SystemExit(
+                f"bad shard-plan fixture {args.shard_plan!r}: expected "
+                f'{{"n_arrays": N, "bounds": [[lo, hi], ...]}} ({exc})'
+            ) from None
+        report = report.merged(VerifyReport(
+            list(check_shard_plan(plan)) + list(check_shard_races(plan))
+        ))
+        checked.append(f"shard plan {args.shard_plan!r}")
+    if args.self_lint:
+        report = report.merged(verify_self())
+        checked.append("repo self-lint")
+    if args.json:
+        say(report.render_json())
+    else:
+        say("checked " + ", ".join(checked))
+        say(report.render_text())
+    return report.exit_code
+
+
 def cmd_verify(args) -> int:
     """Statically verify built-in workloads across gate libraries.
 
@@ -515,6 +600,9 @@ def cmd_verify(args) -> int:
     :func:`repro.verify.verify_mapping` without running a single epoch,
     merges every report, and exits with the merged report's code
     (0 clean / 1 errors / 2 warnings only) — the CI smoke contract.
+    With ``--fleet``, ``--self``, or ``--shard-plan`` the sweep is
+    replaced by the whole-system passes (RPR012-RPR018); see
+    :func:`_cmd_verify_fleet`.
     """
     from dataclasses import replace as dc_replace
 
@@ -526,6 +614,9 @@ def cmd_verify(args) -> int:
         VerifyReport,
         verify_mapping,
     )
+
+    if args.fleet or args.self_lint or args.shard_plan:
+        return _cmd_verify_fleet(args)
 
     workloads = (
         list(available_workloads()) if args.workload == "all"
@@ -910,6 +1001,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--functional", action="store_true", default=False,
         help="treat functional findings (uninitialized reads, dead "
              "writes, tag coverage) as errors, not warnings",
+    )
+    p.add_argument(
+        "--fleet", action="store_true", default=False,
+        help="verify a fleet campaign spec statically (shard plan "
+             "disjointness and races, window bound, RNG stream "
+             "discipline; RPR012-RPR016) instead of the workload sweep",
+    )
+    p.add_argument(
+        "--self", dest="self_lint", action="store_true", default=False,
+        help="run the repo self-lint (RPR018): registry append-only, "
+             "telemetry event/counter vocabulary, __all__ consistency",
+    )
+    p.add_argument(
+        "--shard-plan", default=None, metavar="FILE",
+        help="verify a shard plan from a JSON file "
+             '({"n_arrays": N, "bounds": [[lo, hi], ...]}) '
+             "against RPR012/RPR013",
+    )
+    p.add_argument(
+        "--arrays", type=int, default=512,
+        help="population size for --fleet (default: the E36 spec's 512)",
+    )
+    p.add_argument(
+        "--fleet-workers", type=int, default=8,
+        help="worker count whose shard plan --fleet verifies",
+    )
+    p.add_argument(
+        "--window", type=int, default=3650,
+        help="declared no-death window --fleet verifies",
+    )
+    p.add_argument(
+        "--traffic", choices=("deterministic", "poisson", "bursty"),
+        default="poisson",
+        help="arrival model for the --fleet stream-discipline checks",
     )
     p.add_argument(
         "--json", action="store_true", default=False,

@@ -51,6 +51,7 @@ from repro.fleet.traffic import (
     draw_window,
     split_requests,
     split_requests_window,
+    window_draw_plan,
 )
 
 __all__ = [
@@ -89,4 +90,5 @@ __all__ = [
     "run_campaign",
     "split_requests",
     "split_requests_window",
+    "window_draw_plan",
 ]

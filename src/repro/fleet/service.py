@@ -71,8 +71,10 @@ from repro.fleet.traffic import (
     split_requests,
     split_requests_window,
     traffic_rng,
+    window_draw_plan,
 )
 from repro.telemetry import get_telemetry
+from repro.verify import VerificationError, verify_fleet_spec
 
 #: The recognized dispatch policies.
 DISPATCH_POLICIES = ("even", "least_worn")
@@ -519,7 +521,12 @@ class FleetService:
         spec = self.spec
         cohorts = spec.population.cohorts
         weights = spec.population.cohort_weights
-        if spec.traffic.model == "deterministic" or len(weights) == 1:
+        # The batching decision is the declared, statically-checkable
+        # plan of repro.fleet.traffic.window_draw_plan — the same
+        # procedure repro.verify.check_draw_plan (RPR016) re-proves
+        # stream-exact, so the verifier checks the path actually taken.
+        plan = window_draw_plan(spec.traffic.model, len(weights))
+        if plan["draw"] != "interleaved":
             totals = draw_window(
                 spec.traffic, state.traffic_state, state.rng, window
             )
@@ -673,6 +680,15 @@ class FleetService:
                 raise ValueError("stop_after_day must be >= 1")
         start_wall = time.perf_counter()
         tele = get_telemetry()
+
+        # Static whole-campaign verification before any day runs: shard
+        # disjointness and race freedom, window-bound soundness, RNG
+        # stream discipline, cohort config validity. Memoized per
+        # campaign shape, so resumed/repeated runs pay it once.
+        verification = verify_fleet_spec(spec)
+        if verification.errors:
+            tele.count("fleet.rejected")
+            raise VerificationError(verification)
 
         with tele.timed_phase("fleet.calibrate"):
             calibration = self.calibrate()

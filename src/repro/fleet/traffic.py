@@ -229,6 +229,53 @@ def split_requests_window(
     return out
 
 
+def window_draw_plan(model: str, n_cohorts: int) -> Dict[str, str]:
+    """The declared RNG-consumption plan for a window of traffic draws.
+
+    This is the *decision procedure* the service's windowed path uses
+    (and :func:`repro.verify.check_draw_plan` statically re-checks): for
+    each of the two per-day RNG touchpoints — the arrival ``draw`` and
+    the cohort ``split`` — it names how a window may batch the calls
+    without diverging from the serial per-day stream:
+
+    ``"batched"``
+        One vectorized call for the whole window is stream-identical to
+        the per-day loop (or the path consumes no RNG at all).
+
+    ``"looped"``
+        The window must loop the scalar per-day call; a single batched
+        call could consume a different raw-draw sequence.
+
+    ``"interleaved"``
+        The two touchpoints interleave on the same generator per day,
+        so the window must run full per-day iterations — neither half
+        may be hoisted into its own batch.
+
+    Rules: the ``deterministic`` model draws nothing (``batched`` by
+    vacuity), and a single cohort splits without the RNG — so with one
+    cohort the split is ``batched`` and the draw is ``batched`` for
+    ``poisson`` (NumPy's vectorized sampler walks the same bit stream)
+    but ``looped`` for ``bursty`` (data-dependent raw-draw counts plus
+    a state-flip uniform per day). With multiple cohorts and a stochastic
+    model, draw and split alternate on the same stream every day, so
+    both come back ``interleaved``.
+    """
+    if model not in TRAFFIC_MODELS:
+        raise ValueError(
+            f"unknown traffic model {model!r}; choose from {TRAFFIC_MODELS}"
+        )
+    if n_cohorts < 1:
+        raise ValueError("n_cohorts must be positive")
+    if model == "deterministic":
+        return {"draw": "batched", "split": "batched"}
+    if n_cohorts == 1:
+        return {
+            "draw": "batched" if model == "poisson" else "looped",
+            "split": "batched",
+        }
+    return {"draw": "interleaved", "split": "interleaved"}
+
+
 def capacity_iterations(
     iteration_latency_s: float, duty_cycle: float
 ) -> float:

@@ -42,6 +42,7 @@ from repro.telemetry.sinks import (
 )
 from repro.telemetry.stats import (
     EVENT_FIELDS,
+    KNOWN_COUNTERS,
     TraceSchemaError,
     format_stats,
     iter_trace,
@@ -53,6 +54,7 @@ __all__ = [
     "CaptureSink",
     "EVENT_FIELDS",
     "JsonlSink",
+    "KNOWN_COUNTERS",
     "LoggingSink",
     "ProgressSink",
     "Sink",

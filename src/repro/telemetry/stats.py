@@ -32,6 +32,9 @@ EVENT_FIELDS: Dict[str, frozenset] = {
     "job_end": frozenset({"label", "status", "wall_s", "attempts"}),
     "job_retry": frozenset({"label", "attempt"}),
     "job_timeout": frozenset({"label", "timeout_s"}),
+    "job_rejected": frozenset({"label", "errors", "codes"}),
+    "backend_fallback": frozenset({"requested", "fallback", "reason"}),
+    "verify_report": frozenset({"codes", "errors", "warnings", "total"}),
     "grid_progress": frozenset({"done", "total", "label"}),
     "fleet_start": frozenset({"arrays", "days", "cohorts"}),
     "fleet_day": frozenset({"day", "alive", "served"}),
@@ -40,6 +43,51 @@ EVENT_FIELDS: Dict[str, frozenset] = {
     "fleet_end": frozenset({"days", "alive", "deaths"}),
     "counters": frozenset({"counters"}),
 }
+
+#: The documented counter/gauge name registry. Every
+#: ``Telemetry.count``/``Telemetry.gauge`` call site in ``src/repro``
+#: uses a name listed here (enforced by the ``repro.verify.lint``
+#: self-lint pass, RPR018), so ``repro-endurance stats`` renders a
+#: closed, greppable vocabulary rather than ad-hoc strings. See
+#: ``docs/observability.md``.
+KNOWN_COUNTERS: frozenset = frozenset(
+    {
+        "backend.fallbacks",
+        "backend.pool.hits",
+        "backend.pool.misses",
+        "compile.programs",
+        "engine.cache_hits",
+        "engine.cache_misses",
+        "engine.completed",
+        "engine.failures",
+        "engine.jobs",
+        "engine.rejected",
+        "engine.retries",
+        "engine.timeouts",
+        "eval.batches",
+        "eval.draws",
+        "fastforward.epochs_collapsed",
+        "fastforward.period",
+        "fastforward.runs",
+        "fleet.checkpoints",
+        "fleet.days",
+        "fleet.deaths",
+        "fleet.rejected",
+        "fleet.shards",
+        "fleet.window_days",
+        "fleet.windows",
+        "kernel.chunk_size",
+        "kernel.chunks",
+        "kernel.gemms",
+        "sim.epochs",
+        "sim.epochs_per_s",
+        "sim.iterations",
+        "sim.runs",
+        "verify.diagnostics",
+        "verify.errors",
+        "verify.runs",
+    }
+)
 
 
 class TraceSchemaError(ValueError):
@@ -108,7 +156,9 @@ def summarize_trace(records: Union[str, Iterable[Dict]]) -> Dict:
         totals), ``cache`` (hits/misses), ``retries``, ``timeouts``,
         ``fleet`` (virtual days — windowed days included — checkpoints,
         windows), ``counters`` (the merged telemetry counter snapshots
-        from ``counters`` events, last write wins per key), and
+        from ``counters`` events, last write wins per key),
+        ``diagnostics`` (verifier code -> occurrence count, folded from
+        ``verify_report`` and ``job_rejected`` events), and
         ``simulations`` (count, iterations, epochs).
     """
     if isinstance(records, str):
@@ -126,6 +176,7 @@ def summarize_trace(records: Union[str, Iterable[Dict]]) -> Dict:
     fleet_checkpoints = 0
     fleet_windows = 0
     counters: Dict[str, Union[int, float]] = {}
+    diagnostics: Dict[str, int] = {}
     sim_count = 0
     sim_iterations = 0
     sim_epochs = 0
@@ -167,6 +218,12 @@ def summarize_trace(records: Union[str, Iterable[Dict]]) -> Dict:
             payload = record["counters"]
             if isinstance(payload, dict):
                 counters.update(payload)
+        elif event in ("verify_report", "job_rejected"):
+            codes = record["codes"]
+            if isinstance(codes, list):
+                for code in codes:
+                    code = str(code)
+                    diagnostics[code] = diagnostics.get(code, 0) + 1
         elif event == "simulation":
             sim_count += 1
             sim_iterations += int(record["iterations"])
@@ -197,6 +254,7 @@ def summarize_trace(records: Union[str, Iterable[Dict]]) -> Dict:
             "windows": fleet_windows,
         },
         "counters": dict(sorted(counters.items())),
+        "diagnostics": dict(sorted(diagnostics.items())),
         "simulations": {
             "count": sim_count,
             "iterations": sim_iterations,
@@ -256,6 +314,12 @@ def format_stats(summary: Dict) -> str:
         lines.append("counters:")
         for name, value in counters.items():
             lines.append(f"  {name:<28} {value}")
+    diagnostics = summary.get("diagnostics", {})
+    if diagnostics:
+        lines.append("")
+        lines.append("diagnostics:")
+        for code, count in diagnostics.items():
+            lines.append(f"  {code:<28} {count}")
     sims = summary["simulations"]
     if sims["count"]:
         lines.append("")

@@ -1,21 +1,35 @@
-"""repro.verify — static analysis for programs, mappings, and job specs.
+"""repro.verify — whole-system static analysis without execution.
 
-Checks programs and configurations without executing them: an IR
-dataflow pass over the lane-program instruction stream, a hazard pass
-over the compiled gate levels, and a wear-invariant pass over profiles,
-permutations, and schedules. Findings carry stable ``RPR0xx`` codes and
-render as text or JSON; the ``repro-endurance verify`` CLI subcommand
-and the simulator/engine pre-dispatch hooks are built on these entry
-points.
+Checks programs, configurations, and now whole campaigns without
+executing them: an IR dataflow pass over the lane-program instruction
+stream, a hazard pass over the compiled gate levels, a wear-invariant
+pass over profiles, permutations, and schedules, a concurrency pass
+proving the parallel fleet's shard plan race-free
+(:mod:`~repro.verify.concurrency`), an RNG stream-discipline pass
+(:mod:`~repro.verify.streams`), versioned artifact schema validation
+(:mod:`~repro.verify.schemas`), and an AST self-lint over the repo's
+own invariants (:mod:`~repro.verify.lint`). Findings carry stable
+``RPR0xx`` codes and render as text or JSON; the ``repro-endurance
+verify`` CLI subcommand and the simulator/engine/fleet pre-dispatch
+hooks are built on these entry points.
 """
 
 from repro.verify.api import (
     FUNCTIONAL_CODES,
     VerificationError,
+    verify_fleet_spec,
     verify_mapping,
     verify_network,
     verify_program,
+    verify_self,
     verify_spec,
+)
+from repro.verify.concurrency import (
+    RegionAccess,
+    check_shard_plan,
+    check_shard_races,
+    check_window_bound,
+    executor_access_plan,
 )
 from repro.verify.dataflow import (
     check_bounds,
@@ -30,6 +44,18 @@ from repro.verify.diagnostics import (
     Severity,
     VerifyReport,
 )
+from repro.verify.lint import self_lint
+from repro.verify.schemas import (
+    check_checkpoint,
+    check_manifest,
+    check_trace,
+)
+from repro.verify.streams import (
+    check_draw_plan,
+    check_stream_keys,
+    check_streams,
+    derive_stream_keys,
+)
 from repro.verify.wear import (
     check_config,
     check_fastforward,
@@ -43,20 +69,35 @@ __all__ = [
     "Diagnostic",
     "FUNCTIONAL_CODES",
     "Location",
+    "RegionAccess",
     "Severity",
     "VerificationError",
     "VerifyReport",
     "check_bounds",
+    "check_checkpoint",
     "check_config",
     "check_dataflow",
+    "check_draw_plan",
     "check_fastforward",
     "check_level_segments",
     "check_levels",
+    "check_manifest",
     "check_permutation_rows",
     "check_profile_conservation",
     "check_schedule",
+    "check_shard_plan",
+    "check_shard_races",
+    "check_stream_keys",
+    "check_streams",
+    "check_trace",
+    "check_window_bound",
+    "derive_stream_keys",
+    "executor_access_plan",
+    "self_lint",
+    "verify_fleet_spec",
     "verify_mapping",
     "verify_network",
     "verify_program",
+    "verify_self",
     "verify_spec",
 ]

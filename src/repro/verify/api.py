@@ -26,6 +26,11 @@ import numpy as np
 
 from repro.synth.program import ExternalBit, LaneProgram, ReadInstr, WriteInstr
 from repro.telemetry import get_telemetry
+from repro.verify.concurrency import (
+    check_shard_plan,
+    check_shard_races,
+    check_window_bound,
+)
 from repro.verify.dataflow import check_bounds, check_dataflow, check_levels
 from repro.verify.diagnostics import (
     Diagnostic,
@@ -33,6 +38,8 @@ from repro.verify.diagnostics import (
     Severity,
     VerifyReport,
 )
+from repro.verify.lint import self_lint
+from repro.verify.streams import check_streams
 from repro.verify.wear import (
     check_config,
     check_fastforward,
@@ -46,6 +53,8 @@ __all__ = [
     "verify_mapping",
     "verify_network",
     "verify_spec",
+    "verify_fleet_spec",
+    "verify_self",
 ]
 
 #: Codes that assert value semantics rather than wear accounting.
@@ -90,6 +99,15 @@ def _finish(diagnostics: List[Diagnostic]) -> VerifyReport:
     tele.count("verify.runs")
     if len(report):
         tele.count("verify.diagnostics", len(report))
+        # Surface the codes themselves in the trace so `repro-endurance
+        # stats` can census them alongside the counters.
+        tele.emit(
+            "verify_report",
+            codes=report.codes(),
+            errors=len(report.errors),
+            warnings=len(report.warnings),
+            total=len(report),
+        )
     if report.errors:
         tele.count("verify.errors", len(report.errors))
     return report
@@ -282,3 +300,106 @@ def verify_spec(spec) -> VerifyReport:
         # instead of failing (or worse, approximating) mid-dispatch.
         report = report.merged(VerifyReport(check_fastforward(config)))
     return report
+
+
+#: Memo for :func:`verify_fleet_spec`, keyed on the facts the passes
+#: actually consume. The fleet service verifies on every ``run()``;
+#: repeated runs of one campaign (resume, benchmarks, worker sweeps)
+#: should pay the analysis once.
+_FLEET_VERIFY_CACHE: dict = {}
+
+
+def verify_fleet_spec(spec, use_cache: bool = True) -> VerifyReport:
+    """Statically check a fleet campaign spec before any day runs.
+
+    Duck-typed over anything shaped like a
+    :class:`~repro.fleet.service.FleetSpec`. Composes the whole-system
+    passes:
+
+    * the shard plan the campaign would execute under
+      (``ShardPlan.build(n_arrays, fleet_workers)``) must be a disjoint
+      exact cover (RPR012) and race-free under the executor's access
+      model (RPR013) — :mod:`repro.verify.concurrency`;
+    * the declared no-death window bound must be sound (RPR014);
+    * every seeded substream derivation must be collision-free (RPR015)
+      and the windowed traffic path's declared draw order stream-exact
+      (RPR016) — :mod:`repro.verify.streams`;
+    * every cohort's balance configuration must validate (RPR007/010),
+      plus RPR011 fast-forward eligibility when the spec asks for it.
+
+    Results are memoized on ``(content_hash, fleet_workers, window,
+    fastforward)`` — the campaign identity plus the hash-excluded
+    execution knobs the passes read — so gating every
+    :meth:`FleetService.run` costs one analysis per distinct campaign
+    shape. Pass ``use_cache=False`` to force a fresh run (benchmarks
+    measuring analysis cost do).
+    """
+    from repro.array.architecture import default_architecture
+    from repro.balance.config import BalanceConfig
+    from repro.fleet.parallel import ShardPlan
+
+    key = None
+    if use_cache:
+        key = (
+            spec.content_hash,
+            int(spec.fleet_workers),
+            int(spec.window),
+            bool(spec.fastforward),
+        )
+        cached = _FLEET_VERIFY_CACHE.get(key)
+        if cached is not None:
+            return cached
+    cohorts = spec.population.cohorts
+    plan = ShardPlan.build(
+        spec.population.n_arrays, int(spec.fleet_workers)
+    )
+    diagnostics: List[Diagnostic] = []
+    diagnostics.extend(check_shard_plan(plan))
+    diagnostics.extend(check_shard_races(plan, n_cohorts=len(cohorts)))
+    diagnostics.extend(check_window_bound(int(spec.window)))
+    diagnostics.extend(check_streams(spec))
+    architecture = default_architecture(spec.rows, spec.cols)
+    for cohort in cohorts:
+        config = BalanceConfig.from_label(cohort.config)
+        cohort_findings = check_config(
+            config,
+            architecture.lane_size,
+            architecture.lane_count,
+            seed=spec.seed,
+        )
+        if spec.fastforward:
+            cohort_findings = list(cohort_findings) + list(
+                check_fastforward(config)
+            )
+        for diagnostic in cohort_findings:
+            location = diagnostic.location
+            if location.place is None:
+                location = Location(
+                    location.program,
+                    location.instruction,
+                    location.address,
+                    f"cohort {cohort.key!r}",
+                )
+            diagnostics.append(
+                Diagnostic(
+                    diagnostic.code,
+                    diagnostic.severity,
+                    diagnostic.message,
+                    location,
+                    diagnostic.hint,
+                )
+            )
+    report = _finish(diagnostics)
+    if key is not None:
+        _FLEET_VERIFY_CACHE[key] = report
+    return report
+
+
+def verify_self(root=None) -> VerifyReport:
+    """Run the repo self-lint (RPR018) and wrap it in a report.
+
+    Args:
+        root: Package directory to lint; defaults to the installed
+            ``repro`` tree. See :func:`repro.verify.lint.self_lint`.
+    """
+    return _finish(list(self_lint(root)))

@@ -1,0 +1,435 @@
+"""Static concurrency analysis of the parallel fleet day loop.
+
+The parallel executor (:mod:`repro.fleet.parallel`) advances the
+campaign day loop through shard workers that share one raw
+``multiprocessing.shared_memory`` block — no locks, no pickled state,
+just an ownership discipline: worker *w* only writes array indices in
+its shard's ``[lo, hi)`` range (and the matching gather-scratch
+columns), and the parent folds scratch segments at fixed shard offsets.
+That discipline is what makes the whole design race-free and
+bit-identical for any worker count, and until now it was enforced only
+by construction and by tests that *run* campaigns.
+
+This pass proves it statically, without executing a single fleet day:
+
+* :func:`check_shard_plan` — the :class:`~repro.fleet.parallel.ShardPlan`
+  must be a disjoint exact cover of the population index space
+  (``RPR012``): in-range bounds, no overlap, no gap, full coverage.
+* :func:`check_shard_races` — a plan-level race detector (``RPR013``).
+  :func:`executor_access_plan` models every protocol step of
+  :class:`~repro.fleet.parallel.ParallelDayExecutor` as per-worker
+  read/write interval sets over the shared-memory regions
+  (``cumulative`` / ``death_day`` / ``thresholds`` / ``capacities`` /
+  ``cohort_index`` / per-cohort ``scratch``); the checker then proves no
+  two workers' write regions overlap in any step, and that the parent
+  reductions read gather scratch only at fixed, ascending shard base
+  offsets (the fold-order property behind bit-identical reductions).
+* :func:`check_window_bound` — re-proves the ``no_death_window``
+  capacity bound per spec (``RPR014``): the declared window must stay
+  under the hard cap that keeps the float64 rounding-drift margin
+  valid, and — when concrete campaign vectors are supplied — the
+  per-array bound ``window x per-day wear <= headroom margin`` must
+  actually hold.
+
+Everything here is pure interval arithmetic over the plan; the fleet
+modules are imported lazily inside functions so ``repro.fleet`` can
+import ``repro.verify`` for its own pre-run gating without a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.verify.diagnostics import Diagnostic, Location, Severity
+
+__all__ = [
+    "RegionAccess",
+    "check_shard_plan",
+    "check_shard_races",
+    "check_window_bound",
+    "executor_access_plan",
+]
+
+#: The shared-memory regions of ``CampaignSharedMemory``, in layout
+#: order. ``scratch`` intervals are per-cohort columns; the rest are
+#: flat per-array vectors.
+SHARED_REGIONS = (
+    "cumulative",
+    "death_day",
+    "thresholds",
+    "capacities",
+    "cohort_index",
+    "scratch",
+)
+
+#: The executor protocol steps a worker serves, in phase order.
+PROTOCOL_STEPS = ("headroom", "advance", "window")
+
+
+@dataclass(frozen=True)
+class RegionAccess:
+    """One interval access in the static executor model.
+
+    Attributes:
+        step: Protocol step (:data:`PROTOCOL_STEPS`) or ``"fold"`` for
+            the parent-side reduction read.
+        worker: Worker (shard) index; ``-1`` for the parent.
+        region: A :data:`SHARED_REGIONS` name.
+        mode: ``"read"`` or ``"write"``.
+        lo: Inclusive interval start (array index).
+        hi: Exclusive interval end.
+    """
+
+    step: str
+    worker: int
+    region: str
+    mode: str
+    lo: int
+    hi: int
+
+    def overlaps(self, other: "RegionAccess") -> bool:
+        """Whether two accesses touch a common index of the same region."""
+        return (
+            self.region == other.region
+            and self.lo < other.hi
+            and other.lo < self.hi
+        )
+
+
+def executor_access_plan(plan) -> List[RegionAccess]:
+    """The full static access model of one executor day/window cycle.
+
+    Derived from the worker protocol in
+    :func:`repro.fleet.parallel._worker_main` and the parent fold in
+    :meth:`repro.fleet.parallel.ParallelDayExecutor._fold`, per worker
+    ``w`` owning ``[lo, hi)``:
+
+    * ``headroom`` reads ``thresholds``/``cumulative`` over ``[lo, hi)``
+      and writes the cohort scratch columns ``[lo, lo + n_live)`` —
+      conservatively widened to ``[lo, hi)`` since ``n_live <= hi - lo``.
+    * ``advance`` additionally reads ``capacities`` and writes
+      ``cumulative``, ``death_day``, and scratch over ``[lo, hi)``.
+    * ``window`` reads ``capacities``/``cumulative`` and writes
+      ``cumulative`` and scratch over ``[lo, hi)``.
+    * the parent ``fold`` reads each shard's scratch segment based at
+      that shard's ``lo`` (worker ``-1``).
+
+    Scratch columns are identical across cohorts in this model (every
+    cohort row spans the same per-shard interval), so intervals are
+    expressed once per region; a diagnostic about ``scratch`` applies to
+    every cohort row.
+
+    Args:
+        plan: A :class:`repro.fleet.parallel.ShardPlan` (duck-typed:
+            anything with ``bounds`` and ``n_arrays``).
+    """
+    reads = {
+        "headroom": ("thresholds", "cumulative", "cohort_index"),
+        "advance": ("thresholds", "cumulative", "capacities"),
+        "window": ("cumulative", "capacities"),
+    }
+    writes = {
+        "headroom": ("scratch",),
+        "advance": ("cumulative", "death_day", "scratch"),
+        "window": ("cumulative", "scratch"),
+    }
+    accesses: List[RegionAccess] = []
+    for worker, (lo, hi) in enumerate(plan.bounds):
+        for step in PROTOCOL_STEPS:
+            for region in reads[step]:
+                accesses.append(
+                    RegionAccess(step, worker, region, "read", lo, hi)
+                )
+            for region in writes[step]:
+                accesses.append(
+                    RegionAccess(step, worker, region, "write", lo, hi)
+                )
+        # The parent folds this shard's scratch segment [lo, lo+count);
+        # count <= hi - lo, so [lo, hi) is the conservative envelope.
+        accesses.append(RegionAccess("fold", -1, "scratch", "read", lo, hi))
+    return accesses
+
+
+def check_shard_plan(plan) -> List[Diagnostic]:
+    """RPR012: the plan must be a disjoint exact cover of ``[0, n)``.
+
+    Four properties, each with its own finding: every bound is an
+    in-range, non-empty ``lo < hi`` interval; no two shards overlap; no
+    index between shards is left unowned (gap); and the union reaches
+    both ends of the population. A population index owned by zero
+    shards would silently never advance; one owned by two is a write
+    race (also reported by :func:`check_shard_races`).
+    """
+    diagnostics: List[Diagnostic] = []
+    n = int(plan.n_arrays)
+    if n < 1:
+        diagnostics.append(
+            Diagnostic(
+                "RPR012",
+                Severity.ERROR,
+                f"population size {n} is not positive",
+                Location(place="shard plan"),
+            )
+        )
+        return diagnostics
+    if not plan.bounds:
+        diagnostics.append(
+            Diagnostic(
+                "RPR012",
+                Severity.ERROR,
+                f"empty shard plan leaves all {n} arrays uncovered",
+                Location(place="shard plan"),
+            )
+        )
+        return diagnostics
+    valid: List[Tuple[int, int, int]] = []
+    for shard, (lo, hi) in enumerate(plan.bounds):
+        place = f"shard {shard} [{lo}, {hi})"
+        if not (0 <= lo < hi <= n):
+            diagnostics.append(
+                Diagnostic(
+                    "RPR012",
+                    Severity.ERROR,
+                    f"shard bounds [{lo}, {hi}) are not a non-empty "
+                    f"sub-interval of [0, {n})",
+                    Location(place=place),
+                    hint="each shard needs 0 <= lo < hi <= n_arrays",
+                )
+            )
+            continue
+        valid.append((lo, hi, shard))
+    if not valid:
+        return diagnostics
+    covered_to: Optional[int] = None
+    for lo, hi, shard in sorted(valid):
+        if covered_to is None:
+            if lo != 0:
+                diagnostics.append(
+                    Diagnostic(
+                        "RPR012",
+                        Severity.ERROR,
+                        f"arrays [0, {lo}) are covered by no shard",
+                        Location(place=f"shard {shard} [{lo}, {hi})"),
+                        hint="the first shard must start at array 0",
+                    )
+                )
+        elif lo > covered_to:
+            diagnostics.append(
+                Diagnostic(
+                    "RPR012",
+                    Severity.ERROR,
+                    f"arrays [{covered_to}, {lo}) are covered by no shard",
+                    Location(place=f"shard {shard} [{lo}, {hi})"),
+                    hint="consecutive shards must tile with no gap",
+                )
+            )
+        elif lo < covered_to:
+            diagnostics.append(
+                Diagnostic(
+                    "RPR012",
+                    Severity.ERROR,
+                    f"arrays [{lo}, {min(hi, covered_to)}) are covered by "
+                    "more than one shard",
+                    Location(place=f"shard {shard} [{lo}, {hi})"),
+                    hint="shards must be pairwise disjoint",
+                )
+            )
+        covered_to = hi if covered_to is None else max(covered_to, hi)
+    if covered_to is not None and covered_to < n:
+        diagnostics.append(
+            Diagnostic(
+                "RPR012",
+                Severity.ERROR,
+                f"arrays [{covered_to}, {n}) are covered by no shard",
+                Location(place="shard plan"),
+                hint="the last shard must end at n_arrays",
+            )
+        )
+    return diagnostics
+
+
+def check_shard_races(plan, n_cohorts: int = 1) -> List[Diagnostic]:
+    """RPR013: the plan-level race detector over the executor model.
+
+    Builds the full :func:`executor_access_plan` and proves, per
+    protocol step and shared region, that no two workers' *write*
+    intervals intersect — the lock-free ownership invariant the real
+    executor relies on. It then checks the parent-side reductions: fold
+    reads must hit gather scratch at each shard's own base offset, in
+    strictly ascending order (out-of-order segments would concatenate a
+    differently-ordered vector and break the bit-identical-reduction
+    argument, and overlapping segments read cells two workers wrote).
+
+    Args:
+        plan: The shard plan under test.
+        n_cohorts: Cohort count (documentation of scope only — scratch
+            findings apply to every cohort row; the interval math is
+            row-independent).
+    """
+    if n_cohorts < 1:
+        raise ValueError("n_cohorts must be positive")
+    diagnostics: List[Diagnostic] = []
+    accesses = executor_access_plan(plan)
+    writes = [a for a in accesses if a.mode == "write"]
+    by_step: dict = {}
+    for access in writes:
+        by_step.setdefault((access.step, access.region), []).append(access)
+    for (step, region), group in sorted(by_step.items()):
+        group = sorted(group, key=lambda a: (a.lo, a.hi, a.worker))
+        for i, first in enumerate(group):
+            for second in group[i + 1:]:
+                if first.worker == second.worker or not first.overlaps(
+                    second
+                ):
+                    continue
+                diagnostics.append(
+                    Diagnostic(
+                        "RPR013",
+                        Severity.ERROR,
+                        f"workers {first.worker} and {second.worker} both "
+                        f"write {region}[{second.lo}, "
+                        f"{min(first.hi, second.hi)}) in the {step!r} step",
+                        Location(place=f"step {step!r}, region {region!r}"),
+                        hint="shard write regions must be pairwise disjoint",
+                    )
+                )
+    # Parent fold reads: fixed shard offsets, strictly ascending bases.
+    folds = [a for a in accesses if a.step == "fold"]
+    for shard, (fold, (lo, hi)) in enumerate(zip(folds, plan.bounds)):
+        if fold.lo != lo or fold.hi > hi:
+            diagnostics.append(
+                Diagnostic(
+                    "RPR013",
+                    Severity.ERROR,
+                    f"parent reduction reads scratch[{fold.lo}, {fold.hi}) "
+                    f"for shard {shard}, outside its fixed offset "
+                    f"[{lo}, {hi})",
+                    Location(place=f"fold, shard {shard}"),
+                    hint="reductions must read each shard's own segment",
+                )
+            )
+    for shard, (first, second) in enumerate(zip(folds, folds[1:])):
+        if second.lo < first.hi:
+            diagnostics.append(
+                Diagnostic(
+                    "RPR013",
+                    Severity.ERROR,
+                    f"parent reduction folds shard {shard + 1}'s scratch "
+                    f"segment [{second.lo}, {second.hi}) out of ascending "
+                    f"order after [{first.lo}, {first.hi})",
+                    Location(place=f"fold, shard {shard + 1}"),
+                    hint="fold segments in ascending shard order or the "
+                    "reduction is not bit-identical to the serial loop",
+                )
+            )
+    return diagnostics
+
+
+def check_window_bound(
+    window: int,
+    per_day_max: Optional[Sequence[float]] = None,
+    thresholds: Optional[Sequence[float]] = None,
+    cumulative: Optional[Sequence[float]] = None,
+) -> List[Diagnostic]:
+    """RPR014: re-prove the no-death window bound for a spec.
+
+    Two layers:
+
+    * **Spec-level** (always): the declared maximum window must not
+      exceed :data:`repro.fleet.parallel.MAX_WINDOW`, and the float64
+      rounding-drift proof behind
+      :data:`repro.fleet.parallel.WINDOW_MARGIN` must still hold at the
+      declared size (``window * 2**-53 < WINDOW_MARGIN`` — ``window``
+      consecutive additions drift by at most ``window`` ulps).
+    * **Campaign-level** (when concrete vectors are supplied): the
+      capacity bound itself, per array — ``window * per_day_max[i]``
+      must not exceed the margin-shrunk headroom ``thresholds[i] *
+      (1 - WINDOW_MARGIN) - cumulative[i]``, i.e. no array can possibly
+      cross its death threshold inside the window. This is the exact
+      form :func:`repro.fleet.parallel.no_death_window` floors, so
+      every runtime-derived window passes and ``window + 1`` fails.
+
+    Args:
+        window: The declared maximum no-death window, in days (0
+            disables window stepping and is trivially sound).
+        per_day_max: Optional per-array upper bound on daily wear.
+        thresholds: Optional per-array death thresholds.
+        cumulative: Optional per-array accumulated iterations.
+    """
+    from repro.fleet.parallel import MAX_WINDOW, WINDOW_MARGIN
+
+    diagnostics: List[Diagnostic] = []
+    if window < 0:
+        diagnostics.append(
+            Diagnostic(
+                "RPR014",
+                Severity.ERROR,
+                f"window {window} is negative",
+                Location(place="window bound"),
+            )
+        )
+        return diagnostics
+    if window == 0:
+        return diagnostics
+    if window > MAX_WINDOW:
+        diagnostics.append(
+            Diagnostic(
+                "RPR014",
+                Severity.ERROR,
+                f"declared window {window} exceeds the rounding-proof cap "
+                f"MAX_WINDOW = {MAX_WINDOW}",
+                Location(place="window bound"),
+                hint="the WINDOW_MARGIN drift analysis only covers windows "
+                "up to MAX_WINDOW days",
+            )
+        )
+    drift = window * 2.0 ** -53
+    if drift >= WINDOW_MARGIN:
+        diagnostics.append(
+            Diagnostic(
+                "RPR014",
+                Severity.ERROR,
+                f"worst-case rounding drift of {window} consecutive float64 "
+                f"additions ({drift:.3e}) reaches WINDOW_MARGIN "
+                f"({WINDOW_MARGIN:.0e})",
+                Location(place="window bound"),
+                hint="shrink the window or widen WINDOW_MARGIN",
+            )
+        )
+    supplied = [per_day_max, thresholds, cumulative]
+    if any(v is not None for v in supplied):
+        if any(v is None for v in supplied):
+            raise ValueError(
+                "per_day_max, thresholds, and cumulative must be supplied "
+                "together"
+            )
+        rate = np.asarray(per_day_max, dtype=float)
+        thr = np.asarray(thresholds, dtype=float)
+        cum = np.asarray(cumulative, dtype=float)
+        if not (len(rate) == len(thr) == len(cum)):
+            raise ValueError("campaign vectors must share one length")
+        if len(rate):
+            margin = thr * (1.0 - WINDOW_MARGIN) - cum
+            excess = window * rate - margin
+            offender = int(np.argmax(excess))
+            if excess[offender] > 0:
+                diagnostics.append(
+                    Diagnostic(
+                        "RPR014",
+                        Severity.ERROR,
+                        f"window {window} x per-day wear "
+                        f"{rate[offender]:g} = "
+                        f"{window * rate[offender]:g} exceeds array "
+                        f"{offender}'s headroom margin "
+                        f"{margin[offender]:g}",
+                        Location(
+                            address=offender, place="window capacity bound"
+                        ),
+                        hint="an array could cross its death threshold "
+                        "inside the window; step per-day instead",
+                    )
+                )
+    return diagnostics

@@ -48,6 +48,14 @@ CODES: Dict[str, str] = {
     "RPR009": "hardware re-mapping has no spare bit",
     "RPR010": "invalid balance configuration",
     "RPR011": "configuration not eligible for steady-state fast-forward",
+    "RPR012": "shard plan is not a disjoint exact cover of the population",
+    "RPR013": "plan-level race: overlapping worker write regions or a "
+    "parent reduction reading outside fixed shard offsets",
+    "RPR014": "no-death window bound is unsound for this spec",
+    "RPR015": "seeded RNG substream key collision or reuse",
+    "RPR016": "window-batched draw order can diverge from the serial stream",
+    "RPR017": "versioned artifact schema violation",
+    "RPR018": "repo invariant violated (self-lint)",
 }
 
 

@@ -448,3 +448,48 @@ class TestTelemetryFlags:
     def test_stats_rejects_missing_file(self, tmp_path):
         with pytest.raises(SystemExit, match="cannot read"):
             main(["stats", str(tmp_path / "absent.jsonl")])
+
+
+class TestVerifyWholeSystem:
+    """``verify --fleet/--self/--shard-plan``: the static whole-system
+    passes behind the workload-sweep subcommand (RPR012-RPR018)."""
+
+    def test_fleet_and_self_clean_json(self, capsys):
+        import json
+
+        code = main([
+            "verify", "--fleet", "--self", "--arrays", "16", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"] == {
+            "errors": 0, "warnings": 0, "total": 0, "exit_code": 0,
+        }
+
+    def test_overlapping_shard_plan_exits_one(self, capsys, tmp_path):
+        fixture = tmp_path / "bad-plan.json"
+        fixture.write_text('{"n_arrays": 8, "bounds": [[0, 5], [4, 8]]}')
+        assert main(["verify", "--shard-plan", str(fixture)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR012" in out
+        assert "RPR013" in out
+
+    def test_unsound_window_exits_one(self, capsys):
+        code = main([
+            "verify", "--fleet", "--arrays", "16",
+            "--window", "2000000",
+        ])
+        assert code == 1
+        assert "RPR014" in capsys.readouterr().out
+
+    def test_malformed_fixture_is_a_usage_error(self, tmp_path):
+        fixture = tmp_path / "nonsense.json"
+        fixture.write_text('{"bounds": "not-a-list"}')
+        with pytest.raises(SystemExit, match="bad shard-plan fixture"):
+            main(["verify", "--shard-plan", str(fixture)])
+
+    def test_self_lint_alone(self, capsys):
+        assert main(["verify", "--self"]) == 0
+        out = capsys.readouterr().out
+        assert "repo self-lint" in out
+        assert "verify: no diagnostics" in out

@@ -285,3 +285,48 @@ class TestReportShape:
         assert len(payload["death_days"]) == 4
         assert isinstance(report.annual_replacement_rate, float)
         assert np.isfinite(report.annual_replacement_rate)
+
+
+class TestVerificationGate:
+    """Every campaign passes through verify_fleet_spec before a single
+    day runs: a statically unsound spec is rejected up front."""
+
+    def test_unsound_window_rejected_before_running(self):
+        from repro.verify import VerificationError
+
+        spec = small_fleet_spec(window=2_000_000)  # > MAX_WINDOW
+        with capture() as sink:
+            with pytest.raises(VerificationError) as err:
+                FleetService(spec).run()
+        assert "RPR014" in err.value.report.codes()
+        # rejection happened statically: no fleet day ever started
+        assert sink.of("fleet_start") == []
+        assert sink.of("fleet_day") == []
+        # the findings were published for the stats census
+        [event] = sink.of("verify_report")
+        assert "RPR014" in event["codes"]
+
+    def test_rejection_is_counted(self):
+        from repro.telemetry import get_telemetry
+        from repro.verify import VerificationError
+
+        tele = get_telemetry()
+        before = tele.counters.get("fleet.rejected", 0)
+        with pytest.raises(VerificationError):
+            FleetService(small_fleet_spec(window=2_000_000)).run()
+        assert tele.counters.get("fleet.rejected", 0) == before + 1
+
+    def test_clean_spec_verifies_quietly_and_runs(self):
+        with capture() as sink:
+            report = FleetService(small_fleet_spec(days=3)).run()
+        assert report.n_arrays == 4
+        # a clean verification emits no verify_report event
+        assert sink.of("verify_report") == []
+
+    def test_gate_verdict_is_memoized_per_spec(self):
+        from repro.verify import verify_fleet_spec
+
+        spec = small_fleet_spec()
+        first = verify_fleet_spec(spec)
+        assert verify_fleet_spec(spec) is first
+        assert verify_fleet_spec(spec, use_cache=False) is not first

@@ -46,13 +46,18 @@ REPRO_ALL = {
 }
 
 VERIFY_ALL = {
-    "CODES", "Diagnostic", "FUNCTIONAL_CODES", "Location", "Severity",
-    "VerificationError", "VerifyReport", "check_bounds", "check_config",
-    "check_dataflow", "check_fastforward", "check_level_segments",
-    "check_levels",
+    "CODES", "Diagnostic", "FUNCTIONAL_CODES", "Location", "RegionAccess",
+    "Severity",
+    "VerificationError", "VerifyReport", "check_bounds", "check_checkpoint",
+    "check_config",
+    "check_dataflow", "check_draw_plan", "check_fastforward",
+    "check_level_segments", "check_levels", "check_manifest",
     "check_permutation_rows", "check_profile_conservation",
-    "check_schedule", "verify_mapping", "verify_network",
-    "verify_program", "verify_spec",
+    "check_schedule", "check_shard_plan", "check_shard_races",
+    "check_stream_keys", "check_streams", "check_trace",
+    "check_window_bound", "derive_stream_keys", "executor_access_plan",
+    "self_lint", "verify_fleet_spec", "verify_mapping", "verify_network",
+    "verify_program", "verify_self", "verify_spec",
 }
 
 ENGINE_ALL = {
@@ -73,6 +78,7 @@ FLEET_ALL = {
     "format_report", "interleaved_assignment", "kaplan_meier",
     "no_death_window", "proportional_counts", "required_fleet_size",
     "run_campaign", "split_requests", "split_requests_window",
+    "window_draw_plan",
 }
 
 WORKLOADS_ALL = {
@@ -99,7 +105,8 @@ TRACE_ALL = {
 }
 
 TELEMETRY_ALL = {
-    "CaptureSink", "EVENT_FIELDS", "JsonlSink", "LoggingSink",
+    "CaptureSink", "EVENT_FIELDS", "JsonlSink", "KNOWN_COUNTERS",
+    "LoggingSink",
     "ProgressSink", "Sink", "Telemetry", "TraceSchemaError", "capture",
     "format_stats", "get_telemetry", "iter_trace", "set_telemetry",
     "summarize_trace", "validate_record",

@@ -283,6 +283,40 @@ class TestSummaries:
         assert "backend.pool.hits" in text
         assert "fleet.windows" in text
 
+    def test_summarize_censuses_diagnostic_codes(self):
+        records = [
+            {"ts": 1.0, "event": "verify_report",
+             "codes": ["RPR014", "RPR012", "RPR012"], "errors": 3,
+             "warnings": 0, "total": 3},
+            {"ts": 2.0, "event": "job_rejected", "label": "j",
+             "errors": 1, "codes": ["RPR011"]},
+        ]
+        summary = summarize_trace(records)
+        assert summary["diagnostics"] == {
+            "RPR011": 1,
+            "RPR012": 2,
+            "RPR014": 1,
+        }
+
+    def test_format_stats_renders_diagnostics_section(self):
+        summary = summarize_trace(
+            [
+                {"ts": 1.0, "event": "verify_report",
+                 "codes": ["RPR013", "RPR013"], "errors": 2,
+                 "warnings": 0, "total": 2},
+            ]
+        )
+        text = format_stats(summary)
+        assert "diagnostics:" in text
+        assert "RPR013" in text
+
+    def test_no_diagnostics_section_without_findings(self):
+        summary = summarize_trace(
+            [{"ts": 1.0, "event": "phase", "name": "p", "seconds": 0.1}]
+        )
+        assert summary["diagnostics"] == {}
+        assert "diagnostics:" not in format_stats(summary)
+
 
 class TestSimulatorInstrumentation:
     def test_run_emits_simulation_event_and_counts(self, tiny_arch):

@@ -1,0 +1,212 @@
+"""Property suite for the static concurrency verifier (satellite a).
+
+Hypothesis generates *valid* shard plans (via ``ShardPlan.build`` over
+random population/worker shapes), asserts the verifier never cries wolf,
+then applies targeted unsoundness mutations — overlap, gap, off-by-one
+boundary shifts — and asserts RPR012/RPR013 fire exactly when (and only
+when) the mutation actually breaks the disjoint-exact-cover invariant.
+The access-model and window-bound internals get direct unit coverage
+alongside.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import ShardPlan, no_death_window
+from repro.fleet.parallel import MAX_WINDOW
+from repro.verify import (
+    RegionAccess,
+    check_shard_plan,
+    check_shard_races,
+    check_window_bound,
+    executor_access_plan,
+)
+
+
+def mutate_bounds(bounds, shard, delta_lo=0, delta_hi=0):
+    """A copy of ``bounds`` with one shard's endpoints shifted."""
+    out = list(tuple(b) for b in bounds)
+    lo, hi = out[shard]
+    out[shard] = (lo + delta_lo, hi + delta_hi)
+    return tuple(out)
+
+
+plan_shapes = st.tuples(
+    st.integers(min_value=1, max_value=200),  # n_arrays
+    st.integers(min_value=1, max_value=16),  # workers
+)
+
+
+class TestValidPlansNeverFlagged:
+    @given(shape=plan_shapes)
+    @settings(max_examples=100, deadline=None)
+    def test_built_plan_is_clean(self, shape):
+        n_arrays, workers = shape
+        plan = ShardPlan.build(n_arrays, workers)
+        assert check_shard_plan(plan) == []
+        assert check_shard_races(plan, n_cohorts=2) == []
+
+
+class TestOverlapMutation:
+    """Extending one shard into its neighbour is both a cover violation
+    and a write race — RPR012 *and* RPR013 must fire."""
+
+    @given(shape=plan_shapes, grow=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=100, deadline=None)
+    def test_overlap_fires_both_codes(self, shape, grow):
+        n_arrays, workers = shape
+        plan = ShardPlan.build(n_arrays, workers)
+        if len(plan.bounds) < 2:
+            return  # a single shard has no neighbour to collide with
+        lo, hi = plan.bounds[0]
+        next_hi = plan.bounds[1][1]
+        grow = min(grow, next_hi - hi)
+        if grow < 1:
+            return
+        mutated = ShardPlan(
+            n_arrays=n_arrays,
+            bounds=mutate_bounds(plan.bounds, 0, delta_hi=grow),
+        )
+        plan_codes = {d.code for d in check_shard_plan(mutated)}
+        race_codes = {d.code for d in check_shard_races(mutated)}
+        assert plan_codes == {"RPR012"}
+        assert race_codes == {"RPR013"}
+
+
+class TestGapMutation:
+    """Shrinking one shard leaves arrays unowned — a cover violation
+    (RPR012) but *not* a race: the intervals stay disjoint, so RPR013
+    must stay quiet. This asymmetry is the core soundness property."""
+
+    @given(shape=plan_shapes, shrink=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=100, deadline=None)
+    def test_gap_fires_cover_only(self, shape, shrink):
+        n_arrays, workers = shape
+        plan = ShardPlan.build(n_arrays, workers)
+        lo, hi = plan.bounds[-1]
+        shrink = min(shrink, hi - lo - 1)
+        if shrink < 1:
+            return  # cannot shrink a one-array shard without emptying it
+        mutated = ShardPlan(
+            n_arrays=n_arrays,
+            bounds=mutate_bounds(plan.bounds, len(plan.bounds) - 1,
+                                 delta_lo=shrink),
+        )
+        plan_codes = {d.code for d in check_shard_plan(mutated)}
+        assert plan_codes == {"RPR012"}
+        assert check_shard_races(mutated) == []
+
+
+class TestOffByOneMutations:
+    """Every single-endpoint +-1 shift of a multi-shard plan breaks the
+    exact cover one way or another; the verifier must catch all of
+    them, and stay quiet on the unmutated plan."""
+
+    @given(
+        shape=plan_shapes,
+        shard_pick=st.integers(min_value=0, max_value=15),
+        which=st.sampled_from(["lo-1", "lo+1", "hi-1", "hi+1"]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_every_boundary_shift_is_caught(self, shape, shard_pick, which):
+        n_arrays, workers = shape
+        plan = ShardPlan.build(n_arrays, workers)
+        shard = shard_pick % len(plan.bounds)
+        delta_lo = {"lo-1": -1, "lo+1": 1}.get(which, 0)
+        delta_hi = {"hi-1": -1, "hi+1": 1}.get(which, 0)
+        bounds = mutate_bounds(plan.bounds, shard, delta_lo, delta_hi)
+        lo, hi = bounds[shard]
+        if lo >= hi:
+            return  # emptied the shard; ShardPlan itself models lo < hi
+        mutated = ShardPlan(n_arrays=n_arrays, bounds=bounds)
+        diagnostics = check_shard_plan(mutated) + check_shard_races(mutated)
+        assert diagnostics, (
+            f"mutation {which} on shard {shard} of {plan.bounds} "
+            "went undetected"
+        )
+        assert {d.code for d in diagnostics} <= {"RPR012", "RPR013"}
+
+
+class TestAccessModel:
+    def test_model_covers_every_step_and_fold(self):
+        plan = ShardPlan.build(10, 3)
+        accesses = executor_access_plan(plan)
+        steps = {a.step for a in accesses}
+        assert steps == {"headroom", "advance", "window", "fold"}
+        folds = [a for a in accesses if a.step == "fold"]
+        assert [(f.lo, f.hi) for f in folds] == list(plan.bounds)
+        assert all(f.worker == -1 and f.mode == "read" for f in folds)
+
+    def test_workers_only_touch_their_own_interval(self):
+        plan = ShardPlan.build(12, 4)
+        for access in executor_access_plan(plan):
+            if access.worker < 0:
+                continue
+            lo, hi = plan.bounds[access.worker]
+            assert (access.lo, access.hi) == (lo, hi)
+
+    def test_overlap_predicate(self):
+        a = RegionAccess("advance", 0, "cumulative", "write", 0, 5)
+        b = RegionAccess("advance", 1, "cumulative", "write", 4, 8)
+        c = RegionAccess("advance", 1, "cumulative", "write", 5, 8)
+        d = RegionAccess("advance", 1, "scratch", "write", 4, 8)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # half-open intervals: [0,5) vs [5,8)
+        assert not a.overlaps(d)  # different region
+
+    def test_races_reject_non_positive_cohorts(self):
+        with pytest.raises(ValueError, match="n_cohorts"):
+            check_shard_races(ShardPlan.build(4, 2), n_cohorts=0)
+
+
+class TestWindowBoundAgainstRuntime:
+    """The static RPR014 pass must agree with the live no_death_window
+    arithmetic it re-proves."""
+
+    def test_runtime_window_always_passes_static_bound(self):
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            n = int(rng.integers(1, 30))
+            thresholds = rng.uniform(1e3, 1e7, size=n)
+            cumulative = thresholds * rng.uniform(0.0, 0.9, size=n)
+            per_day = rng.uniform(0.1, 50.0, size=n)
+            window = no_death_window(
+                thresholds,
+                cumulative,
+                np.full(n, -1, dtype=np.int64),
+                per_day,
+                MAX_WINDOW,
+            )
+            if window < 1:
+                continue
+            assert check_window_bound(
+                int(window),
+                per_day_max=per_day,
+                thresholds=thresholds,
+                cumulative=cumulative,
+            ) == []
+
+    def test_one_day_past_the_runtime_window_fails(self):
+        import numpy as np
+
+        thresholds = np.array([1e6, 2e6])
+        cumulative = np.array([9.9e5, 0.0])
+        per_day = np.array([100.0, 1.0])
+        window = no_death_window(
+            thresholds,
+            cumulative,
+            np.array([-1, -1], dtype=np.int64),
+            per_day,
+            MAX_WINDOW,
+        )
+        assert window >= 1
+        diagnostics = check_window_bound(
+            int(window) + 1,
+            per_day_max=per_day,
+            thresholds=thresholds,
+            cumulative=cumulative,
+        )
+        assert [d.code for d in diagnostics] == ["RPR014"]

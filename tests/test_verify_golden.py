@@ -23,15 +23,26 @@ from repro.synth.program import (
     WriteInstr,
 )
 from repro.verify import (
+    CODES,
     Severity,
     check_bounds,
+    check_checkpoint,
     check_config,
     check_dataflow,
+    check_draw_plan,
     check_level_segments,
     check_levels,
+    check_manifest,
     check_permutation_rows,
     check_profile_conservation,
     check_schedule,
+    check_shard_plan,
+    check_shard_races,
+    check_stream_keys,
+    check_trace,
+    check_window_bound,
+    derive_stream_keys,
+    self_lint,
     verify_network,
     verify_program,
 )
@@ -361,3 +372,324 @@ class TestVerifyProgramComposition:
         codes = set(report.codes())
         # uninit read, dead write, unwritten-output coverage, bounds
         assert {"RPR001", "RPR002", "RPR003"} <= codes
+
+
+class TestRegistryAppendOnly:
+    """The registry is an append-only public contract, pinned exactly.
+
+    Adding a code means appending one ``(code, message)`` pair here.
+    Any other diff to this baseline — a renamed code, a reworded
+    message, a reordered entry — is a contract break this test exists
+    to catch.
+    """
+
+    BASELINE = (
+        ("RPR001", "read of an uninitialized cell"),
+        ("RPR002", "dead write (overwritten or never read)"),
+        ("RPR003", "cell address outside the array geometry"),
+        ("RPR004", "read-out tag / output coverage violation"),
+        ("RPR005", "compiled gate level is not hazard-free"),
+        ("RPR006", "write/read profile not conserved across representations"),
+        ("RPR007", "balance mapping is not a valid permutation"),
+        ("RPR008", "schedule violates the lane-load bounds"),
+        ("RPR009", "hardware re-mapping has no spare bit"),
+        ("RPR010", "invalid balance configuration"),
+        ("RPR011", "configuration not eligible for steady-state fast-forward"),
+        (
+            "RPR012",
+            "shard plan is not a disjoint exact cover of the population",
+        ),
+        (
+            "RPR013",
+            "plan-level race: overlapping worker write regions or a "
+            "parent reduction reading outside fixed shard offsets",
+        ),
+        ("RPR014", "no-death window bound is unsound for this spec"),
+        ("RPR015", "seeded RNG substream key collision or reuse"),
+        (
+            "RPR016",
+            "window-batched draw order can diverge from the serial stream",
+        ),
+        ("RPR017", "versioned artifact schema violation"),
+        ("RPR018", "repo invariant violated (self-lint)"),
+    )
+
+    def test_registry_matches_baseline_exactly(self):
+        assert tuple(CODES.items()) == self.BASELINE
+
+    def test_codes_are_contiguous_and_ascending(self):
+        assert list(CODES) == [
+            f"RPR{i:03d}" for i in range(1, len(CODES) + 1)
+        ]
+
+
+class TestRPR012ShardPlan:
+    def _plan(self, n, bounds):
+        from repro.fleet import ShardPlan
+
+        return ShardPlan(n_arrays=n, bounds=tuple(bounds))
+
+    def test_gap_between_shards(self):
+        diagnostics = check_shard_plan(self._plan(8, [(0, 3), (5, 8)]))
+        (d,) = diagnostics
+        assert d.code == "RPR012"
+        assert d.severity is Severity.ERROR
+        assert "arrays [3, 5) are covered by no shard" in d.message
+
+    def test_overlap_between_shards(self):
+        diagnostics = check_shard_plan(self._plan(8, [(0, 5), (4, 8)]))
+        (d,) = diagnostics
+        assert d.code == "RPR012"
+        assert "covered by more than one shard" in d.message
+
+    def test_out_of_range_bounds(self):
+        diagnostics = check_shard_plan(self._plan(8, [(0, 4), (4, 9)]))
+        codes = [d.code for d in diagnostics]
+        # the bad bound itself, plus the trailing [4, 8) left uncovered
+        assert codes == ["RPR012", "RPR012"]
+
+    def test_trailing_gap(self):
+        (d,) = check_shard_plan(self._plan(8, [(0, 6)]))
+        assert d.code == "RPR012"
+        assert "arrays [6, 8)" in d.message
+
+    def test_built_plans_are_exact_covers(self):
+        from repro.fleet import ShardPlan
+
+        for n, workers in [(1, 1), (8, 3), (512, 8), (7, 16)]:
+            assert check_shard_plan(ShardPlan.build(n, workers)) == []
+
+
+class TestRPR013ShardRaces:
+    def _plan(self, n, bounds):
+        from repro.fleet import ShardPlan
+
+        return ShardPlan(n_arrays=n, bounds=tuple(bounds))
+
+    def test_overlapping_writes_race_every_written_region(self):
+        diagnostics = check_shard_races(self._plan(8, [(0, 5), (4, 8)]))
+        assert diagnostics
+        assert all(d.code == "RPR013" for d in diagnostics)
+        # cumulative is written in both the advance and window steps
+        places = {d.location.place for d in diagnostics}
+        assert "step 'advance', region 'cumulative'" in places
+
+    def test_gap_plan_has_no_race(self):
+        # A gap is a coverage bug (RPR012) but races nothing: the
+        # intervals stay disjoint, so the race detector must stay quiet.
+        assert check_shard_races(self._plan(8, [(0, 3), (5, 8)])) == []
+
+    def test_unsorted_bounds_break_fold_order(self):
+        diagnostics = check_shard_races(self._plan(8, [(4, 8), (0, 4)]))
+        (d,) = diagnostics
+        assert d.code == "RPR013"
+        assert "out of ascending order" in d.message
+        assert d.location.place == "fold, shard 1"
+
+    def test_balanced_plan_is_race_free(self):
+        from repro.fleet import ShardPlan
+
+        assert check_shard_races(ShardPlan.build(512, 8), n_cohorts=2) == []
+
+
+class TestRPR014WindowBound:
+    def test_window_above_hard_cap(self):
+        (d,) = check_window_bound(2_000_000)
+        assert d.code == "RPR014"
+        assert "MAX_WINDOW" in d.message
+
+    def test_campaign_vectors_can_reach_a_threshold(self):
+        (d,) = check_window_bound(
+            10,
+            per_day_max=[5.0, 1.0],
+            thresholds=[100.0, 200.0],
+            cumulative=[60.0, 0.0],
+        )
+        assert d.code == "RPR014"
+        assert d.location.address == 0  # the worst-offending array
+
+    def test_partial_vectors_rejected(self):
+        with pytest.raises(ValueError, match="supplied together"):
+            check_window_bound(10, per_day_max=[1.0])
+
+    def test_sound_windows_are_clean(self):
+        assert check_window_bound(0) == []
+        assert check_window_bound(3650) == []
+        assert check_window_bound(
+            10,
+            per_day_max=[1.0],
+            thresholds=[1000.0],
+            cumulative=[0.0],
+        ) == []
+
+
+class TestRPR015StreamKeys:
+    def test_collision_across_consumers(self):
+        (d,) = check_stream_keys([("a", (7, 1)), ("b", (7, 1))])
+        assert d.code == "RPR015"
+        assert "collides with" in d.message
+
+    def test_reuse_by_one_consumer(self):
+        (d,) = check_stream_keys([("a", (7, 1)), ("a", (7, 1))])
+        assert d.code == "RPR015"
+        assert "reused by" in d.message
+
+    def test_fleet_spec_streams_are_disjoint(self):
+        from repro.fleet import (
+            CohortSpec,
+            FleetSpec,
+            PopulationSpec,
+            TrafficSpec,
+        )
+
+        spec = FleetSpec(
+            population=PopulationSpec(
+                n_arrays=6,
+                technology_mix=(("MRAM", 1.0),),
+                cohorts=(CohortSpec(workload="add"),),
+                endurance_sigma=0.3,
+            ),
+            traffic=TrafficSpec(model="poisson", rate=1e6),
+            days=10,
+            seed=7,
+        )
+        keys = derive_stream_keys(spec)
+        assert check_stream_keys(keys) == []
+        # traffic plus one budget stream per array
+        assert len(keys) == 1 + spec.population.n_arrays
+
+
+class TestRPR016DrawPlans:
+    def test_bursty_batched_draw_rejected(self):
+        diagnostics = check_draw_plan(
+            "bursty", 1, {"draw": "batched", "split": "batched"}
+        )
+        (d,) = diagnostics
+        assert d.code == "RPR016"
+        assert "data-dependent" in d.message
+
+    def test_stochastic_multi_cohort_must_interleave(self):
+        diagnostics = check_draw_plan(
+            "poisson", 2, {"draw": "batched", "split": "interleaved"}
+        )
+        (d,) = diagnostics
+        assert d.code == "RPR016"
+        assert "alternates draw and split" in d.message
+
+    def test_invalid_mode_rejected(self):
+        (d,) = check_draw_plan(
+            "poisson", 1, {"draw": "vectorised", "split": "batched"}
+        )
+        assert d.code == "RPR016"
+        assert "no valid 'draw' mode" in d.message
+
+    def test_live_decision_procedure_is_sound(self):
+        # plan=None checks window_draw_plan itself — the service's
+        # actual windowed path — for every model x cohort-count shape.
+        for model in ("deterministic", "poisson", "bursty"):
+            for n_cohorts in (1, 2, 3):
+                assert check_draw_plan(model, n_cohorts) == []
+
+
+class TestRPR017Schemas:
+    def _checkpoint(self, **overrides):
+        payload = {
+            "version": 1,
+            "campaign_hash": "cafe",
+            "day": 3,
+            "state": {
+                "day": 3,
+                "cumulative": [1.0, 2.0],
+                "death_day": [-1, -1],
+                "served": 10,
+                "dropped": 0,
+                "traffic_state": None,
+                "rng_state": {},
+            },
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_valid_checkpoint_is_clean(self):
+        assert check_checkpoint(self._checkpoint()) == []
+
+    def test_version_drift(self):
+        (d,) = check_checkpoint(self._checkpoint(version=99))
+        assert d.code == "RPR017"
+        assert "CHECKPOINT_VERSION" in d.message
+
+    def test_missing_state_keys(self):
+        broken = self._checkpoint()
+        del broken["state"]["rng_state"]
+        (d,) = check_checkpoint(broken)
+        assert d.code == "RPR017"
+        assert "rng_state" in d.message
+
+    def test_vector_length_disagreement(self):
+        broken = self._checkpoint()
+        broken["state"]["death_day"] = [-1]
+        (d,) = check_checkpoint(broken)
+        assert d.code == "RPR017"
+        assert "disagree" in d.message
+
+    def test_manifest_missing_keys(self):
+        (d,) = check_manifest({"content_hash": "cafe"})
+        assert d.code == "RPR017"
+        assert "missing required key(s)" in d.message
+
+    def test_trace_lines_located_individually(self):
+        lines = [
+            '{"event": "sim_start"',  # unparsable
+            "",  # blank lines are fine
+            '{"no_event_field": true}',  # schema violation
+        ]
+        diagnostics = check_trace(lines)
+        assert [d.code for d in diagnostics] == ["RPR017", "RPR017"]
+        assert diagnostics[0].location.place == "line 1"
+        assert diagnostics[1].location.place == "line 3"
+
+
+class TestRPR018SelfLint:
+    def test_shipped_tree_is_clean(self):
+        assert self_lint() == []
+
+    def test_undeclared_event_and_counter(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text(
+            'tele.emit("no_such_event", x=1)\n'
+            'tele.count("no.such.counter")\n'
+        )
+        diagnostics = self_lint(pkg)
+        assert [d.code for d in diagnostics] == ["RPR018", "RPR018"]
+        assert "EVENT_FIELDS" in diagnostics[0].message
+        assert "KNOWN_COUNTERS" in diagnostics[1].message
+        assert diagnostics[0].location.place == "pkg/mod.py:1"
+
+    def test_phantom_dunder_all_export(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text(
+            'def real():\n    pass\n\n__all__ = ["real", "phantom"]\n'
+        )
+        (d,) = self_lint(pkg)
+        assert d.code == "RPR018"
+        assert "phantom" in d.message
+
+    def test_unregistered_diagnostic_code(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text(
+            'd = Diagnostic("RPR999", severity, "message")\n'
+        )
+        (d,) = self_lint(pkg)
+        assert d.code == "RPR018"
+        assert "RPR999" in d.message
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("def broken(:\n")
+        (d,) = self_lint(pkg)
+        assert d.code == "RPR018"
+        assert "does not parse" in d.message
